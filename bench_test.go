@@ -1,0 +1,364 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the exhibit and reporting its headline numbers as custom metrics), plus
+// ablation benches for DESIGN.md §5's design choices and microbenchmarks
+// for the substrates (codecs, pool managers, MCKP solver).
+//
+// Figure benches run the experiment harness at test scale per iteration;
+// absolute wall time is the harness cost, while the reported custom
+// metrics (savings_pct, slowdown_pct, ...) carry the reproduction result.
+package tierscape
+
+import (
+	"strconv"
+	"testing"
+
+	"tierscape/internal/compress"
+	"tierscape/internal/corpus"
+	"tierscape/internal/experiments"
+	"tierscape/internal/ilp"
+	"tierscape/internal/stats"
+	"tierscape/internal/zpool"
+)
+
+// cellF extracts a float cell from a table for metric reporting.
+func cellF(b *testing.B, t *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func benchScale() experiments.Scale { return experiments.SmallScale() }
+
+func BenchmarkFig1_SingleTierAggressiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 2, 1), "savings80_pct")
+		b.ReportMetric(cellF(b, t, 2, 2), "slowdown80_pct")
+	}
+}
+
+func BenchmarkFig2_Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig2(256)
+		// C1 nci latency (row 0 col 3) and C12 nci normalized TCO (row 11 col 4).
+		b.ReportMetric(cellF(b, t, 0, 3), "c1_nci_us")
+		b.ReportMetric(cellF(b, t, 11, 4), "c12_nci_normtco")
+	}
+}
+
+func BenchmarkFig7_StandardMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// AM-TCO row of the first workload: savings metric.
+		b.ReportMetric(cellF(b, t, 4, 3), "memcached_amtco_savings_pct")
+	}
+}
+
+func BenchmarkFig8_WaterfallPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		b.ReportMetric(cellF(b, t, last, 6), "final_savings_pct")
+	}
+}
+
+func BenchmarkFig9_AMRecommendationVsActual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(t.Rows) - 1
+		b.ReportMetric(cellF(b, t, last, 9), "ct_faults")
+	}
+}
+
+func BenchmarkFig10_KnobSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 4, 2), "alpha01_savings_pct")
+		b.ReportMetric(cellF(b, t, 0, 2), "alpha09_savings_pct")
+	}
+}
+
+func BenchmarkFig11_TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// AM-TCO normalized p99.9 (row 4, col 3).
+		b.ReportMetric(cellF(b, t, 4, 3), "amtco_p999_norm")
+	}
+}
+
+func BenchmarkFig12_SpectrumPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13_Spectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig13(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// First workload, AM-A row (index 8): savings.
+		b.ReportMetric(cellF(b, t, 8, 3), "memcached_ama_savings_pct")
+	}
+}
+
+func BenchmarkFig14_Tax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig14(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// only-profiling relative performance (row 1 col 1).
+		b.ReportMetric(cellF(b, t, 1, 1), "profiling_rel_perf")
+	}
+}
+
+func BenchmarkTable1_OptionSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		if len(t.Rows) != 63 {
+			b.Fatal("option space must have 63 tiers")
+		}
+	}
+}
+
+// Ablation benches (DESIGN.md §5).
+
+func BenchmarkAblation_TierCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TierCountAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 2, 2)-cellF(b, t, 0, 2), "savings_gain_5v1_pp")
+	}
+}
+
+func BenchmarkAblation_SolverExactVsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.SolverAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 1, 3), "exact_solver_ms")
+	}
+}
+
+func BenchmarkAblation_MigrationFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.FilterAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 0, 3), "faults_filter_on")
+		b.ReportMetric(cellF(b, t, 1, 3), "faults_filter_off")
+	}
+}
+
+func BenchmarkAblation_Cooling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CoolingAblation(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_WindowLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WindowAblation(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate microbenchmarks.
+
+func benchCodecCompress(b *testing.B, name string, profile corpus.Profile) {
+	c := compress.MustLookup(name)
+	page := corpus.NewGenerator(profile, 1).Page(0, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out = c.Compress(out[:0], page)
+	}
+}
+
+func benchCodecDecompress(b *testing.B, name string, profile corpus.Profile) {
+	c := compress.MustLookup(name)
+	page := corpus.NewGenerator(profile, 1).Page(0, 4096)
+	comp := c.Compress(nil, page)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	var out []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = c.Decompress(out[:0], comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodec_LZ4_Compress(b *testing.B)     { benchCodecCompress(b, "lz4", corpus.Dickens) }
+func BenchmarkCodec_LZ4_Decompress(b *testing.B)   { benchCodecDecompress(b, "lz4", corpus.Dickens) }
+func BenchmarkCodec_LZ4HC_Compress(b *testing.B)   { benchCodecCompress(b, "lz4hc", corpus.Dickens) }
+func BenchmarkCodec_LZO_Compress(b *testing.B)     { benchCodecCompress(b, "lzo", corpus.Dickens) }
+func BenchmarkCodec_LZO_Decompress(b *testing.B)   { benchCodecDecompress(b, "lzo", corpus.Dickens) }
+func BenchmarkCodec_LZORLE_Compress(b *testing.B)  { benchCodecCompress(b, "lzo-rle", corpus.Zero) }
+func BenchmarkCodec_Deflate_Compress(b *testing.B) { benchCodecCompress(b, "deflate", corpus.Dickens) }
+func BenchmarkCodec_Deflate_Decompress(b *testing.B) {
+	benchCodecDecompress(b, "deflate", corpus.Dickens)
+}
+func BenchmarkCodec_Zstd_Compress(b *testing.B) { benchCodecCompress(b, "zstd", corpus.Dickens) }
+func BenchmarkCodec_842_Compress(b *testing.B)  { benchCodecCompress(b, "842", corpus.Binary) }
+
+func benchPool(b *testing.B, name string) {
+	p, err := zpool.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	sizes := make([]int, 256)
+	for i := range sizes {
+		sizes[i] = 200 + rng.Intn(3000)
+	}
+	buf := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Store(buf[:sizes[i%len(sizes)]])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i%2 == 1 {
+			if err := p.Free(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPool_Zsmalloc(b *testing.B) { benchPool(b, "zsmalloc") }
+func BenchmarkPool_Zbud(b *testing.B)     { benchPool(b, "zbud") }
+func BenchmarkPool_Z3fold(b *testing.B)   { benchPool(b, "z3fold") }
+
+func BenchmarkILP_Greedy256Regions(b *testing.B) {
+	rng := stats.NewRNG(9)
+	p := ilpProblem(rng, 256, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.SolveGreedy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILP_Exact64Regions(b *testing.B) {
+	rng := stats.NewRNG(9)
+	p := ilpProblem(rng, 64, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.SolveExact(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ilpProblem(rng *stats.RNG, classes, opts int) ilp.Problem {
+	p := ilp.Problem{}
+	total := 0.0
+	for i := 0; i < classes; i++ {
+		var c []ilp.Option
+		for j := 0; j < opts; j++ {
+			c = append(c, ilp.Option{Cost: rng.Float64() * 100, Weight: rng.Float64() * 100})
+		}
+		p.Classes = append(p.Classes, c)
+		total += 100
+	}
+	p.Budget = total / 3
+	return p
+}
+
+func BenchmarkEndToEnd_StandardRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := StandardRun(MemcachedYCSB(4*RegionPages, 42), AMTCO(), 3, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SavingsPct(), "savings_pct")
+	}
+}
+
+func BenchmarkAblation_Prefetcher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.PrefetchAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 2, 4), "prefetches_thr4")
+	}
+}
+
+func BenchmarkCXLVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CXLVariant(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 3, 3), "cxl_amtco_savings_pct")
+	}
+}
+
+func BenchmarkExtension_CompressibilityAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CompressibilityAware(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 1, 2), "aware_savings_pct")
+	}
+}
+
+func BenchmarkExtension_Colocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Colocation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 2, 3), "colocated_savings_pct")
+	}
+}
+
+func BenchmarkAblation_Telemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TelemetryAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cellF(b, t, 1, 2), "abit_savings_pct")
+	}
+}

@@ -1,0 +1,36 @@
+// Command characterize reproduces the §5 characterization (Figure 2a/2b):
+// it builds the 12 compressed tiers C1…C12, pushes nci-like and
+// dickens-like data through each, and prints the measured access latency,
+// normalized TCO and compression ratio per tier. Pass -pages to change how
+// much data flows through each tier, and -table1 to also enumerate the
+// full 63-tier option space of Table 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tierscape/internal/experiments"
+)
+
+func main() {
+	pages := flag.Int("pages", 512, "pages to store per tier per data set")
+	table1 := flag.Bool("table1", false, "also print the Table 1 option space")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	tab := experiments.Fig2(*pages)
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Println(tab.String())
+	}
+	if *table1 {
+		t1 := experiments.Table1()
+		if *csv {
+			fmt.Print(t1.CSV())
+		} else {
+			fmt.Println(t1.String())
+		}
+	}
+}

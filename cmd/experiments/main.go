@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the simulator.
+//
+// Usage:
+//
+//	experiments -fig all                 # everything
+//	experiments -fig 7                   # Figure 7 (standard mix)
+//	experiments -fig 13 -scale small     # Figure 13 at test scale
+//	experiments -fig 2 -csv              # Figure 2 as CSV
+//
+// Exhibits: 1, 2, 7, 8, 9, 10, 11, 12, 13, 14, table1, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tierscape/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "exhibit to regenerate (1,2,7,8,9,10,11,12,13,14,table1,ablations,all)")
+	scale := flag.String("scale", "default", "experiment scale: default or small")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "also render scatter plots for slowdown-vs-savings exhibits (7, 10, 13)")
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scale {
+	case "default":
+		s = experiments.DefaultScale()
+	case "small":
+		s = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	type exhibit struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}
+	exhibits := []exhibit{
+		{"1", func() (*experiments.Table, error) { return experiments.Fig1(s) }},
+		{"2", func() (*experiments.Table, error) { return experiments.Fig2(512), nil }},
+		{"table1", func() (*experiments.Table, error) { return experiments.Table1(), nil }},
+		{"7", func() (*experiments.Table, error) { return experiments.Fig7(s) }},
+		{"8", func() (*experiments.Table, error) { return experiments.Fig8(s) }},
+		{"9", func() (*experiments.Table, error) { return experiments.Fig9(s) }},
+		{"10", func() (*experiments.Table, error) { return experiments.Fig10(s) }},
+		{"11", func() (*experiments.Table, error) { return experiments.Fig11(s) }},
+		{"12", func() (*experiments.Table, error) { return experiments.Fig12(s) }},
+		{"13", func() (*experiments.Table, error) { return experiments.Fig13(s) }},
+		{"14", func() (*experiments.Table, error) { return experiments.Fig14(s) }},
+		{"cxl", func() (*experiments.Table, error) { return experiments.CXLVariant(s) }},
+		{"ablations", func() (*experiments.Table, error) { return nil, runAblations(s, *csv) }},
+	}
+
+	ran := false
+	for _, e := range exhibits {
+		if *fig != "all" && *fig != e.name {
+			continue
+		}
+		ran = true
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exhibit %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if tab != nil {
+			print(tab, *csv)
+			if *plot {
+				switch e.name {
+				case "7", "13":
+					// slowdown col 2, savings col 3, model/config col 1
+					fmt.Println(experiments.Scatter(tab, 2, 3, 1, 72, 20))
+				case "10":
+					fmt.Println(experiments.Scatter(tab, 1, 2, 0, 72, 20))
+				}
+			}
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func print(t *experiments.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+func runAblations(s experiments.Scale, csv bool) error {
+	for _, run := range []func(experiments.Scale) (*experiments.Table, error){
+		experiments.TierCountAblation,
+		experiments.SolverAblation,
+		experiments.FilterAblation,
+		experiments.PrefetchAblation,
+		experiments.CompressibilityAware,
+		experiments.TelemetryAblation,
+		experiments.Colocation,
+		experiments.CoolingAblation,
+		experiments.WindowAblation,
+	} {
+		tab, err := run(s)
+		if err != nil {
+			return err
+		}
+		print(tab, csv)
+	}
+	return nil
+}

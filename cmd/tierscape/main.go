@@ -1,0 +1,232 @@
+// Command tierscape runs the TS-Daemon simulation loop for one workload
+// under one placement model and prints per-window placement, TCO and the
+// run summary — the CLI equivalent of the paper's
+// `make tier_memcached_memtier_{baseline,hemem,ilp,waterfall}` targets.
+//
+// Examples:
+//
+//	tierscape -workload memcached-ycsb -model am -alpha 0.1
+//	tierscape -workload redis -model waterfall -pct 25 -tiers spectrum
+//	tierscape -workload bfs -model baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tierscape"
+	"tierscape/internal/media"
+	"tierscape/internal/mem"
+	"tierscape/internal/trace"
+	"tierscape/internal/ztier"
+)
+
+func main() {
+	workloadName := flag.String("workload", "memcached-ycsb",
+		"workload: memcached-ycsb, memcached-memtier, redis, bfs, pagerank, xsbench, graphsage, masim, ycsb-{a..f}")
+	modelName := flag.String("model", "am",
+		"placement model: baseline, am, waterfall, hemem, gswap, tmo")
+	alpha := flag.Float64("alpha", 0.1, "analytical model knob in [0,1]")
+	pct := flag.Float64("pct", 25, "hotness percentile threshold for threshold models")
+	tiers := flag.String("tiers", "standard", "tier setup: standard (DRAM+NVMM+CT1+CT2), spectrum (DRAM+C1,C2,C4,C7,C12), or a JSON file (see -tiers help)")
+	windows := flag.Int("windows", 8, "profile windows to run")
+	ops := flag.Int("ops", 20000, "operations per window")
+	pages := flag.Int64("pages", 16*tierscape.RegionPages, "workload footprint in 4 KB pages")
+	seed := flag.Uint64("seed", 42, "random seed")
+	prefetch := flag.Int("prefetch", 0, "prefetcher fault threshold per region per window (0 = off)")
+	push := flag.Int("push", 2, "daemon push threads applying migrations")
+	record := flag.String("record", "", "record the access trace to this file while running")
+	replay := flag.String("replay", "", "replay a recorded trace file as the workload")
+	flag.Parse()
+
+	var wl tierscape.Workload
+	var recorder *trace.Recorder
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wl = tr
+	default:
+		var err error
+		wl, err = buildWorkload(*workloadName, *pages, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *record != "" {
+			f, err := os.Create(*record)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			recorder, err = trace.NewRecorder(f, wl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			wl = recorder
+		}
+	}
+
+	cfg := tierscape.RunConfig{
+		Workload:               wl,
+		Windows:                *windows,
+		OpsPerWindow:           *ops,
+		SampleRate:             50,
+		Seed:                   *seed,
+		PushThreads:            *push,
+		PrefetchFaultThreshold: *prefetch,
+	}
+	var slowTiers map[string]tierscape.TierID
+	switch *tiers {
+	case "standard":
+		cfg.Tiers = tierscape.StandardMix()
+		cfg.ByteTiers = []tierscape.MediaKind{tierscape.NVMM}
+		slowTiers = map[string]tierscape.TierID{
+			"hemem": tierscape.StdNVMM, "gswap": tierscape.StdCT1, "tmo": tierscape.StdCT2,
+		}
+	case "spectrum":
+		cfg.Tiers = tierscape.Spectrum()
+		slowTiers = map[string]tierscape.TierID{
+			"hemem": 1, "gswap": 4, "tmo": 5, // C7 is GSwap's tier, C12 TMO-like
+		}
+	default:
+		// Treat as a JSON tier-config file: the artifact's config-file
+		// analogue. Format: {"byteTiers":["NVMM"], "compressedTiers":
+		// [{"codec":"lzo","pool":"zsmalloc","media":"DRAM"}, ...]}.
+		tcs, bts, err := loadTierFile(*tiers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tier setup %q: %v\n", *tiers, err)
+			os.Exit(2)
+		}
+		cfg.Tiers = tcs
+		cfg.ByteTiers = bts
+		// Baselines target the last tiers by convention.
+		n := tierscape.TierID(len(bts) + len(tcs))
+		slowTiers = map[string]tierscape.TierID{"hemem": 1, "gswap": n, "tmo": n}
+	}
+
+	switch *modelName {
+	case "baseline":
+		cfg.Model = nil
+	case "am":
+		cfg.Model = tierscape.AM(*alpha)
+	case "waterfall":
+		cfg.Model = tierscape.WaterfallModel(*pct)
+	case "hemem":
+		cfg.Model = tierscape.HeMemBaseline(slowTiers["hemem"], *pct)
+	case "gswap":
+		cfg.Model = tierscape.GSwapBaseline(slowTiers["gswap"], *pct)
+	case "tmo":
+		cfg.Model = tierscape.TMOBaseline(slowTiers["tmo"], *pct)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	res, err := tierscape.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace recorded to %s\n", *record)
+	}
+
+	fmt.Printf("workload: %s   model: %s   footprint: %d pages (%d regions)\n",
+		res.WorkloadName, res.ModelName, wl.NumPages(),
+		(wl.NumPages()+mem.RegionPages-1)/mem.RegionPages)
+	fmt.Println("window  app_ms  daemon_ms  moves  faults  tco  savings%  tier_pages")
+	for _, w := range res.Windows {
+		fmt.Printf("%6d  %6.1f  %9.2f  %5d  %6d  %.4f  %7.2f  %v\n",
+			w.Window, w.AppNs/1e6, w.DaemonNs/1e6, w.Moves, w.Faults,
+			w.TCO, (res.TCOMax-w.TCO)/res.TCOMax*100, w.TierPages)
+	}
+	fmt.Printf("\nops: %d   throughput: %.0f ops/s (virtual)\n", res.Ops, res.ThroughputOpsPerSec())
+	fmt.Printf("latency: avg %.1fus  p95 %.1fus  p99.9 %.1fus\n",
+		res.OpLat.Mean()/1000, res.OpLat.Percentile(95)/1000, res.OpLat.Percentile(99.9)/1000)
+	fmt.Printf("TCO: max %.4f  avg %.4f  final %.4f   time-averaged savings %.2f%%\n",
+		res.TCOMax, res.AvgTCO, res.FinalTCO, res.SavingsPct())
+}
+
+// tierFile is the JSON schema for custom tier setups.
+type tierFile struct {
+	ByteTiers       []string `json:"byteTiers"`
+	CompressedTiers []struct {
+		Codec string `json:"codec"`
+		Pool  string `json:"pool"`
+		Media string `json:"media"`
+	} `json:"compressedTiers"`
+}
+
+func loadTierFile(path string) ([]tierscape.TierConfig, []tierscape.MediaKind, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tf tierFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, nil, err
+	}
+	var bts []tierscape.MediaKind
+	for _, b := range tf.ByteTiers {
+		k, err := media.ParseKind(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		bts = append(bts, k)
+	}
+	var tcs []tierscape.TierConfig
+	for _, c := range tf.CompressedTiers {
+		k, err := media.ParseKind(c.Media)
+		if err != nil {
+			return nil, nil, err
+		}
+		tcs = append(tcs, ztier.Config{Codec: c.Codec, Pool: c.Pool, Media: k})
+	}
+	if len(tcs) == 0 {
+		return nil, nil, fmt.Errorf("no compressed tiers in %s", path)
+	}
+	return tcs, bts, nil
+}
+
+func buildWorkload(name string, pages int64, seed uint64) (tierscape.Workload, error) {
+	switch name {
+	case "masim":
+		return tierscape.MasimWorkload(pages/3, 20000, seed), nil
+	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
+		return tierscape.YCSBWorkload(name[5]-'a'+'A', pages, seed)
+	case "memcached-ycsb":
+		return tierscape.MemcachedYCSB(pages, seed), nil
+	case "memcached-memtier":
+		return tierscape.MemcachedMemtier(1024, pages, seed), nil
+	case "redis":
+		return tierscape.RedisYCSB(pages, seed), nil
+	case "bfs":
+		return tierscape.BFSWorkload(pages*mem.PageSize/128, seed), nil
+	case "pagerank":
+		return tierscape.PageRankWorkload(pages*mem.PageSize/128, seed), nil
+	case "xsbench":
+		return tierscape.XSBenchWorkload(pages, seed), nil
+	case "graphsage":
+		return tierscape.GraphSAGEWorkload(pages, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,160 @@
+// Command tracetool records and inspects access traces.
+//
+//	tracetool -record t.trace -workload memcached-ycsb -ops 100000
+//	tracetool -stat t.trace
+//
+// -stat prints the trace header, op/access counts, read/write mix, and a
+// per-region hotness histogram — the offline view of what the PEBS
+// profiler would see.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tierscape"
+	"tierscape/internal/mem"
+	"tierscape/internal/trace"
+	"tierscape/internal/workload"
+)
+
+func main() {
+	statPath := flag.String("stat", "", "trace file to analyze")
+	recordPath := flag.String("record", "", "trace file to write")
+	workloadName := flag.String("workload", "memcached-ycsb", "workload to record")
+	ops := flag.Int64("ops", 100000, "operations to record")
+	pages := flag.Int64("pages", 16*tierscape.RegionPages, "workload footprint in pages")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	top := flag.Int("top", 10, "hottest regions to list in -stat")
+	flag.Parse()
+
+	switch {
+	case *statPath != "":
+		if err := stat(*statPath, *top); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *recordPath != "":
+		if err := record(*recordPath, *workloadName, *pages, *ops, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -stat FILE or -record FILE")
+		os.Exit(2)
+	}
+}
+
+func record(path, workloadName string, pages, ops int64, seed uint64) error {
+	var wl tierscape.Workload
+	switch workloadName {
+	case "memcached-ycsb":
+		wl = tierscape.MemcachedYCSB(pages, seed)
+	case "memcached-memtier":
+		wl = tierscape.MemcachedMemtier(1024, pages, seed)
+	case "redis":
+		wl = tierscape.RedisYCSB(pages, seed)
+	case "xsbench":
+		wl = tierscape.XSBenchWorkload(pages, seed)
+	case "graphsage":
+		wl = tierscape.GraphSAGEWorkload(pages, seed)
+	case "masim":
+		wl = tierscape.MasimWorkload(pages/3, 20000, seed)
+	default:
+		return fmt.Errorf("unknown workload %q", workloadName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.Record(f, wl, ops)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d ops, %d accesses, %d bytes (%.2f B/access)\n",
+		path, tw.Ops(), tw.Events(), st.Size(), float64(st.Size())/float64(tw.Events()))
+	return nil
+}
+
+func stat(path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	numRegions := (tr.NumPages() + mem.RegionPages - 1) / mem.RegionPages
+	regionHits := make([]int64, numRegions)
+	uniquePages := make(map[mem.PageID]struct{})
+	var opsN, accesses, writes int64
+
+	var buf []workload.Access
+	for {
+		buf = tr.NextOp(buf[:0])
+		if len(buf) == 0 || tr.Replays() > 0 {
+			break
+		}
+		opsN++
+		for _, a := range buf {
+			accesses++
+			if a.Write {
+				writes++
+			}
+			regionHits[a.Page.Region()]++
+			uniquePages[a.Page] = struct{}{}
+		}
+	}
+
+	fmt.Printf("trace: %s\n", path)
+	fmt.Printf("pages: %d (%d regions), content profile: %s\n",
+		tr.NumPages(), numRegions, tr.Content())
+	fmt.Printf("ops: %d   accesses: %d (%.2f/op)   writes: %.1f%%\n",
+		opsN, accesses, float64(accesses)/float64(max64(opsN, 1)),
+		100*float64(writes)/float64(max64(accesses, 1)))
+	fmt.Printf("unique pages touched: %d (%.1f%% of footprint)\n",
+		len(uniquePages), 100*float64(len(uniquePages))/float64(tr.NumPages()))
+
+	type rh struct {
+		region mem.RegionID
+		hits   int64
+	}
+	ranked := make([]rh, 0, numRegions)
+	for r, h := range regionHits {
+		ranked = append(ranked, rh{mem.RegionID(r), h})
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].hits > ranked[b].hits })
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	fmt.Printf("hottest %d regions:\n", top)
+	for _, r := range ranked[:top] {
+		bar := int(64 * r.hits / max64(ranked[0].hits, 1))
+		fmt.Printf("  region %4d  %10d  %s\n", r.region, r.hits, bars(bar))
+	}
+	return nil
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

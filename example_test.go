@@ -1,0 +1,78 @@
+package tierscape_test
+
+import (
+	"fmt"
+
+	"tierscape"
+)
+
+// Example runs Memcached under the TCO-preferred analytical model on the
+// paper's standard tier mix and reports whether TierScape saved memory
+// TCO versus the all-DRAM baseline.
+func Example() {
+	res, err := tierscape.StandardRun(
+		tierscape.MemcachedYCSB(4*tierscape.RegionPages, 42),
+		tierscape.AMTCO(),
+		3, 3000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ops:", res.Ops)
+	fmt.Println("saved TCO:", res.SavingsPct() > 0)
+	// Output:
+	// ops: 9000
+	// saved TCO: true
+}
+
+// ExampleRun shows a fully custom configuration: a CXL-attached byte tier
+// plus two compressed tiers picked from the Figure 2 characterization set,
+// driven by the masim microbenchmark under the Waterfall model.
+func ExampleRun() {
+	res, err := tierscape.Run(tierscape.RunConfig{
+		Workload:  tierscape.MasimWorkload(tierscape.RegionPages, 2000, 7),
+		ByteTiers: []tierscape.MediaKind{tierscape.CXL},
+		Tiers: []tierscape.TierConfig{
+			tierscape.CharacterizationTier(1),  // ZB-L4-DR: fastest
+			tierscape.CharacterizationTier(12), // ZS-DE-OP: best TCO
+		},
+		Model:        tierscape.WaterfallModel(50),
+		Windows:      3,
+		OpsPerWindow: 2000,
+		SampleRate:   20,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("windows:", len(res.Windows))
+	fmt.Println("tiers:", len(res.Windows[0].TierPages))
+	// Output:
+	// windows: 3
+	// tiers: 4
+}
+
+// ExampleAM sweeps the knob: lower α must never save less TCO.
+func ExampleAM() {
+	var prev float64 = -1
+	monotone := true
+	for _, alpha := range []float64{0.9, 0.5, 0.1} {
+		res, err := tierscape.StandardRun(
+			tierscape.RedisYCSB(4*tierscape.RegionPages, 9),
+			tierscape.AM(alpha),
+			3, 3000)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if res.SavingsPct() < prev-1 {
+			monotone = false
+		}
+		if res.SavingsPct() > prev {
+			prev = res.SavingsPct()
+		}
+	}
+	fmt.Println("savings grow as alpha tightens:", monotone)
+	// Output:
+	// savings grow as alpha tightens: true
+}

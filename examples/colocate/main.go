@@ -1,0 +1,47 @@
+// Colocate: run Memcached and PageRank as tenants of one shared tiered
+// system under a single TS-Daemon — the multi-tenant deployment the paper
+// motivates in §3.4 and names as future work (§9 direction v).
+//
+//	go run ./examples/colocate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tierscape"
+)
+
+func main() {
+	const (
+		kvPages  = 8 * tierscape.RegionPages
+		vertices = 1 << 17
+		windows  = 6
+		opsWin   = 10000
+		seed     = 21
+	)
+	mk := func() tierscape.Workload {
+		return tierscape.Colocate(
+			tierscape.MemcachedMemtier(1024, kvPages, seed),
+			tierscape.PageRankWorkload(vertices, seed),
+		)
+	}
+	base, err := tierscape.StandardRun(mk(), nil, windows, opsWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tierscape.StandardRun(mk(), tierscape.AMTCO(), windows, opsWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tenants:", res.WorkloadName)
+	fmt.Printf("shared-system TCO savings: %.1f%%   slowdown: %.1f%%   faults: %d\n",
+		res.SavingsPct(), res.SlowdownPctVs(base), res.Faults)
+	fmt.Println("\nper-window placement (DRAM NVMM CT-1 CT-2):")
+	for _, w := range res.Windows {
+		fmt.Printf("  window %d: %v\n", w.Window, w.TierPages)
+	}
+	fmt.Println("\none daemon profiles both tenants' regions and scatters each by its")
+	fmt.Println("own temperature: the KV tail compresses, the graph's CSR stays hot.")
+}

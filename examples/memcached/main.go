@@ -1,0 +1,52 @@
+// Memcached shoot-out: reproduce the Figure 7 comparison for one workload
+// — HeMem*, GSwap*, TMO*, Waterfall, AM-TCO and AM-perf on the standard
+// tier mix, reporting slowdown and TCO savings versus all-DRAM.
+//
+//	go run ./examples/memcached
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tierscape"
+)
+
+func main() {
+	const (
+		footprint = 12 * tierscape.RegionPages
+		windows   = 6
+		opsPerWin = 15000
+		seed      = 7
+	)
+	fresh := func() tierscape.Workload {
+		return tierscape.MemcachedMemtier(1024, footprint, seed)
+	}
+
+	base, err := tierscape.StandardRun(fresh(), nil, windows, opsPerWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models := []tierscape.Model{
+		tierscape.HeMemBaseline(tierscape.StdNVMM, 25),
+		tierscape.GSwapBaseline(tierscape.StdCT1, 25),
+		tierscape.TMOBaseline(tierscape.StdCT2, 25),
+		tierscape.WaterfallModel(25),
+		tierscape.AMTCO(),
+		tierscape.AMPerf(),
+	}
+
+	fmt.Println("Memcached/memtier-1K on DRAM + NVMM + CT-1 + CT-2")
+	fmt.Printf("%-12s %12s %12s %10s\n", "model", "slowdown%", "savings%", "faults")
+	for _, m := range models {
+		res, err := tierscape.StandardRun(fresh(), m, windows, opsPerWin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12.2f %12.2f %10d\n",
+			res.ModelName, res.SlowdownPctVs(base), res.SavingsPct(), res.Faults)
+	}
+	fmt.Println("\npaper shape: AM-TCO pairs the deepest savings with modest slowdown;")
+	fmt.Println("AM-perf stays near DRAM performance; two-tier baselines sit in between.")
+}

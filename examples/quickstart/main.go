@@ -1,0 +1,52 @@
+// Quickstart: run Memcached under TierScape's analytical model on the
+// paper's standard tier mix and compare against the all-DRAM baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tierscape"
+)
+
+func main() {
+	const (
+		footprint = 8 * tierscape.RegionPages // 16 MB simulated RSS
+		windows   = 6
+		opsPerWin = 10000
+		seed      = 42
+	)
+
+	// Baseline: everything stays in DRAM (maximum performance, zero
+	// TCO savings). Workloads are stateful, so each run gets a fresh one.
+	base, err := tierscape.StandardRun(
+		tierscape.MemcachedYCSB(footprint, seed), nil, windows, opsPerWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// TierScape: the analytical model tuned for TCO (α = 0.1) scatters
+	// regions across DRAM, NVMM, CT-1 (lzo/zsmalloc/DRAM) and CT-2
+	// (zstd/zsmalloc/Optane) every profile window.
+	ts, err := tierscape.StandardRun(
+		tierscape.MemcachedYCSB(footprint, seed), tierscape.AMTCO(), windows, opsPerWin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %14s %14s %12s\n", "config", "throughput/s", "p99.9 (us)", "TCO savings")
+	fmt.Printf("%-12s %14.0f %14.1f %11.1f%%\n", "all-DRAM",
+		base.ThroughputOpsPerSec(), base.OpLat.Percentile(99.9)/1000, base.SavingsPct())
+	fmt.Printf("%-12s %14.0f %14.1f %11.1f%%\n", ts.ModelName,
+		ts.ThroughputOpsPerSec(), ts.OpLat.Percentile(99.9)/1000, ts.SavingsPct())
+	fmt.Printf("\nslowdown vs DRAM: %.1f%%   compressed-tier faults: %d\n",
+		ts.SlowdownPctVs(base), ts.Faults)
+
+	fmt.Println("\nper-window placement (pages per tier: DRAM NVMM CT-1 CT-2):")
+	for _, w := range ts.Windows {
+		fmt.Printf("  window %d: %v  TCO savings %.1f%%\n",
+			w.Window, w.TierPages, (ts.TCOMax-w.TCO)/ts.TCOMax*100)
+	}
+}

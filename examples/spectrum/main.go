@@ -1,0 +1,63 @@
+// Spectrum: run PageRank over the six-tier setup (DRAM + compressed tiers
+// C1, C2, C4, C7, C12 from the §5 characterization) and watch the
+// Waterfall model age cold graph data down the spectrum while the
+// analytical model places it directly.
+//
+//	go run ./examples/spectrum
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tierscape"
+)
+
+func main() {
+	const (
+		vertices  = 16384
+		windows   = 6
+		opsPerWin = 10000
+		seed      = 3
+	)
+	run := func(m tierscape.Model) *tierscape.Result {
+		res, err := tierscape.Run(tierscape.RunConfig{
+			Workload:     tierscape.PageRankWorkload(vertices, seed),
+			Tiers:        tierscape.Spectrum(),
+			Model:        m,
+			Windows:      windows,
+			OpsPerWindow: opsPerWin,
+			SampleRate:   50,
+			Seed:         seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(nil)
+	names := []string{"DRAM", "C1:ZB-L4-DR", "C2:ZB-L4-OP", "C4:ZS-L4-OP", "C7:ZS-LO-DR", "C12:ZS-DE-OP"}
+
+	for _, m := range []tierscape.Model{
+		tierscape.WaterfallModel(50),
+		tierscape.AM(0.3),
+	} {
+		res := run(m)
+		fmt.Printf("=== %s ===\n", res.ModelName)
+		fmt.Printf("slowdown %.2f%%   TCO savings %.2f%%\n",
+			res.SlowdownPctVs(base), res.SavingsPct())
+		for _, w := range res.Windows {
+			fmt.Printf("  window %d:", w.Window)
+			for i, p := range w.TierPages {
+				if p > 0 {
+					fmt.Printf("  %s=%d", names[i], p)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Waterfall ages pages one tier per window toward C12;")
+	fmt.Println("the analytical model sends cold regions straight to their final tier.")
+}

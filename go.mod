@@ -1,0 +1,3 @@
+module tierscape
+
+go 1.22

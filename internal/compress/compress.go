@@ -1,0 +1,100 @@
+// Package compress implements the block compression codecs TierScape's
+// compressed tiers are built from. All codecs are implemented from scratch
+// on the stdlib only:
+//
+//   - lz4      — the real LZ4 block format (fast greedy matcher)
+//   - lz4hc    — LZ4 block format with chained-hash deep matching
+//   - lzo      — an LZO-class byte-aligned LZSS codec
+//   - lzo-rle  — lzo plus a run-length fast path (zero-run heavy pages)
+//   - deflate  — stdlib compress/flate at the kernel's default effort
+//   - zstd     — "zstd-class": flate at maximum effort over a preconditioned
+//     stream (stands in for zstd's better entropy stage; see DESIGN.md)
+//   - 842      — an 842-style word-oriented codec (8-byte phrases with
+//     back-reference dictionaries)
+//
+// Every codec is deterministic and round-trips arbitrary input. Compression
+// may expand incompressible input; the tier layer rejects pages whose
+// compressed size exceeds the page size, mirroring zswap's behaviour.
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Codec is a one-shot block compressor.
+type Codec interface {
+	// Name returns the codec's registry name (e.g. "lz4").
+	Name() string
+	// Compress appends the compressed form of src to dst and returns the
+	// extended slice. Compress never fails; incompressible data may expand.
+	Compress(dst, src []byte) []byte
+	// Decompress appends the decompressed form of src to dst and returns
+	// the extended slice. It returns an error if src is corrupt.
+	Decompress(dst, src []byte) ([]byte, error)
+}
+
+// ErrCorrupt is returned when a compressed block cannot be decoded.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+var registry = map[string]Codec{}
+
+// Register installs a codec under its name. It panics on duplicates, since
+// codec registration happens at init time and a duplicate is a programming
+// error.
+func Register(c Codec) {
+	if _, dup := registry[c.Name()]; dup {
+		panic(fmt.Sprintf("compress: duplicate codec %q", c.Name()))
+	}
+	registry[c.Name()] = c
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Codec, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+	return c, nil
+}
+
+// MustLookup is Lookup but panics on unknown names; for use with the
+// built-in codec names.
+func MustLookup(name string) Codec {
+	c, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names returns the sorted list of registered codec names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ratio compresses src with c and returns compressedSize/originalSize.
+// A ratio >= 1 means the data is effectively incompressible under c.
+func Ratio(c Codec, src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	out := c.Compress(nil, src)
+	return float64(len(out)) / float64(len(src))
+}
+
+func init() {
+	Register(NewLZ4())
+	Register(NewLZ4HC())
+	Register(NewLZO())
+	Register(NewLZORLE())
+	Register(NewDeflate())
+	Register(NewZstd())
+	Register(New842())
+}

@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// Deflate wraps the stdlib flate compressor at the default effort level,
+// standing in for the kernel's deflate crypto-API compressor. It is the
+// highest-ratio / highest-latency codec class in the paper's Table 1.
+type Deflate struct {
+	name  string
+	level int
+
+	mu sync.Mutex
+	w  *flate.Writer
+}
+
+// NewDeflate returns the deflate codec (flate level 6, zlib's default).
+func NewDeflate() *Deflate { return &Deflate{name: "deflate", level: 6} }
+
+// Name implements Codec.
+func (d *Deflate) Name() string { return d.name }
+
+// Compress implements Codec.
+func (d *Deflate) Compress(dst, src []byte) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var buf bytes.Buffer
+	if d.w == nil {
+		w, err := flate.NewWriter(&buf, d.level)
+		if err != nil {
+			// Level is a compile-time constant in range; this cannot happen.
+			panic(err)
+		}
+		d.w = w
+	} else {
+		d.w.Reset(&buf)
+	}
+	if _, err := d.w.Write(src); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	if err := d.w.Close(); err != nil {
+		panic(err)
+	}
+	return append(dst, buf.Bytes()...)
+}
+
+// Decompress implements Codec.
+func (d *Deflate) Decompress(dst, src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return dst, ErrCorrupt
+	}
+	return append(dst, out...), nil
+}

@@ -1,0 +1,57 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"tierscape/internal/corpus"
+)
+
+// FuzzRoundTrip asserts the fundamental codec invariant on arbitrary
+// input: Decompress(Compress(x)) == x, for every registered codec.
+// Run with `go test -fuzz FuzzRoundTrip ./internal/compress`.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xAA}, 4096))
+	f.Add(bytes.Repeat([]byte("abc"), 100))
+	f.Add(corpus.NewGenerator(corpus.Dickens, 1).Page(0, 4096))
+	f.Add(corpus.NewGenerator(corpus.Random, 1).Page(0, 512))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		for _, name := range Names() {
+			c := MustLookup(name)
+			comp := c.Compress(nil, src)
+			got, err := c.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("%s: decompress of own output failed: %v", name, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s: round trip mismatch (%d bytes in, %d out)", name, len(src), len(got))
+			}
+		}
+	})
+}
+
+// FuzzDecompressRobust asserts no codec panics or overruns on arbitrary
+// (usually invalid) compressed input, and that output stays bounded.
+func FuzzDecompressRobust(f *testing.F) {
+	lz4 := MustLookup("lz4")
+	f.Add(lz4.Compress(nil, bytes.Repeat([]byte("hello "), 200)))
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		for _, name := range Names() {
+			c := MustLookup(name)
+			out, _ := c.Decompress(nil, comp)
+			// Hostile input can amplify: each lz4/lzo length-extension byte
+			// adds up to 255 output bytes, and an 842 repeat op emits up to
+			// 255 phrases from two bytes. All of those are linear per input
+			// byte, so a generous linear bound proves termination without
+			// unbounded memory growth.
+			if len(comp) > 0 && len(out) > 4096*(len(comp)+16) {
+				t.Fatalf("%s: %d bytes decompressed from %d — amplification bound exceeded",
+					name, len(out), len(comp))
+			}
+		}
+	})
+}

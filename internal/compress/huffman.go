@@ -1,0 +1,391 @@
+package compress
+
+// Canonical Huffman coding used by the zstd-class codec: an order-0
+// entropy stage over byte streams. The table is transmitted as 256 4-bit
+// code lengths (128 bytes) with a trivial zero-run shortcut; codes are
+// limited to 15 bits via the standard length-limiting fold.
+
+import "sort"
+
+const huffMaxBits = 15
+
+// bitWriter packs LSB-first bits.
+type bitWriter struct {
+	out  []byte
+	acc  uint64
+	nacc uint
+}
+
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc |= uint64(v) << w.nacc
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nacc > 0 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc = 0
+		w.nacc = 0
+	}
+}
+
+// bitReader reads LSB-first bits.
+type bitReader struct {
+	in   []byte
+	pos  int
+	acc  uint64
+	nacc uint
+}
+
+func (r *bitReader) readBits(n uint) (uint32, bool) {
+	for r.nacc < n {
+		if r.pos >= len(r.in) {
+			return 0, false
+		}
+		r.acc |= uint64(r.in[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+	v := uint32(r.acc & ((1 << n) - 1))
+	r.acc >>= n
+	r.nacc -= n
+	return v, true
+}
+
+// huffLengths computes length-limited canonical code lengths for the
+// symbol frequencies (package-merge-free heuristic: build a Huffman tree,
+// then fold over-long codes down to huffMaxBits).
+func huffLengths(freq *[256]int64) [256]uint8 {
+	type node struct {
+		weight      int64
+		sym         int // >= 0 for leaves
+		left, right int // indexes into nodes, -1 for leaves
+	}
+	var nodes []node
+	var heap []int // indexes, maintained as a simple binary heap by weight
+
+	push := func(i int) {
+		heap = append(heap, i)
+		c := len(heap) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if nodes[heap[p]].weight <= nodes[heap[c]].weight {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		c := 0
+		for {
+			l, r := 2*c+1, 2*c+2
+			small := c
+			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[small]].weight {
+				small = l
+			}
+			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[small]].weight {
+				small = r
+			}
+			if small == c {
+				break
+			}
+			heap[c], heap[small] = heap[small], heap[c]
+			c = small
+		}
+		return top
+	}
+
+	var lengths [256]uint8
+	numSyms := 0
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, node{weight: f, sym: s, left: -1, right: -1})
+			push(len(nodes) - 1)
+			numSyms++
+		}
+	}
+	switch numSyms {
+	case 0:
+		return lengths
+	case 1:
+		lengths[nodes[0].sym] = 1
+		return lengths
+	}
+	for len(heap) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+		push(len(nodes) - 1)
+	}
+	root := heap[0]
+	// Depth-first depth assignment.
+	type item struct {
+		idx   int
+		depth uint8
+	}
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[it.idx]
+		if n.sym >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.sym] = d
+			continue
+		}
+		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+	}
+	// Length-limit: fold codes longer than huffMaxBits using Kraft repair.
+	over := false
+	for _, l := range lengths {
+		if l > huffMaxBits {
+			over = true
+			break
+		}
+	}
+	if over {
+		// Clamp and then fix the Kraft sum by lengthening the shallowest
+		// longest-code symbols.
+		var syms []int
+		for s, l := range lengths {
+			if l > 0 {
+				if l > huffMaxBits {
+					lengths[s] = huffMaxBits
+				}
+				syms = append(syms, s)
+			}
+		}
+		kraft := int64(0)
+		for _, s := range syms {
+			kraft += int64(1) << (huffMaxBits - lengths[s])
+		}
+		limit := int64(1) << huffMaxBits
+		// While over-subscribed, demote symbols (increase length) starting
+		// from the least frequent.
+		sort.Slice(syms, func(a, b int) bool { return freq[syms[a]] < freq[syms[b]] })
+		for kraft > limit {
+			for _, s := range syms {
+				if lengths[s] < huffMaxBits {
+					kraft -= int64(1) << (huffMaxBits - lengths[s] - 1)
+					lengths[s]++
+					if kraft <= limit {
+						break
+					}
+				}
+			}
+		}
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical code values from lengths.
+func canonicalCodes(lengths *[256]uint8) [256]uint32 {
+	var codes [256]uint32
+	var count [huffMaxBits + 1]int
+	for _, l := range lengths {
+		count[l]++
+	}
+	var next [huffMaxBits + 1]uint32
+	code := uint32(0)
+	count[0] = 0
+	for bits := 1; bits <= huffMaxBits; bits++ {
+		code = (code + uint32(count[bits-1])) << 1
+		next[bits] = code
+	}
+	// Canonical order: by (length, symbol).
+	for bits := uint8(1); bits <= huffMaxBits; bits++ {
+		for s := 0; s < 256; s++ {
+			if lengths[s] == bits {
+				codes[s] = next[bits]
+				next[bits]++
+			}
+		}
+	}
+	return codes
+}
+
+// reverseBits reverses the low n bits of v (canonical codes are MSB-first;
+// the bit IO here is LSB-first).
+func reverseBits(v uint32, n uint8) uint32 {
+	var out uint32
+	for i := uint8(0); i < n; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// huffEncode appends a Huffman-coded block of src to dst:
+//
+//	header: origLen varint | 128 bytes of 4-bit code lengths
+//	body:   LSB-first bitstream of canonical codes
+//
+// Code lengths above 15 never occur. If coding would expand the data, a
+// raw block is emitted instead (flag byte 0 = raw, 1 = coded).
+func huffEncode(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return append(dst, 0, 0) // raw block, length 0
+	}
+	var freq [256]int64
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := huffLengths(&freq)
+	codes := canonicalCodes(&lengths)
+
+	// Estimate coded size.
+	bits := int64(0)
+	for s, f := range freq {
+		bits += f * int64(lengths[s])
+	}
+	coded := (bits+7)/8 + 128 + 4
+	if coded >= int64(len(src)) {
+		dst = append(dst, 0) // raw block
+		dst = appendUvarint(dst, uint64(len(src)))
+		return append(dst, src...)
+	}
+
+	dst = append(dst, 1) // coded block
+	dst = appendUvarint(dst, uint64(len(src)))
+	for i := 0; i < 256; i += 2 {
+		dst = append(dst, lengths[i]|lengths[i+1]<<4)
+	}
+	w := bitWriter{out: dst}
+	for _, b := range src {
+		w.writeBits(reverseBits(codes[b], lengths[b]), uint(lengths[b]))
+	}
+	w.flush()
+	return w.out
+}
+
+// huffDecode decodes one huffEncode block from src, appending the
+// original bytes to dst and returning the remaining input.
+func huffDecode(dst, src []byte) ([]byte, []byte, error) {
+	if len(src) == 0 {
+		return dst, src, ErrCorrupt
+	}
+	kind := src[0]
+	src = src[1:]
+	n, used := readUvarint(src)
+	if used <= 0 {
+		return dst, src, ErrCorrupt
+	}
+	src = src[used:]
+	if kind == 0 {
+		if uint64(len(src)) < n {
+			return dst, src, ErrCorrupt
+		}
+		return append(dst, src[:n]...), src[n:], nil
+	}
+	if kind != 1 || len(src) < 128 {
+		return dst, src, ErrCorrupt
+	}
+	if n > 1<<24 {
+		return dst, src, ErrCorrupt // absurd block; reject
+	}
+	var lengths [256]uint8
+	for i := 0; i < 128; i++ {
+		lengths[2*i] = src[i] & 0xf
+		lengths[2*i+1] = src[i] >> 4
+	}
+	src = src[128:]
+
+	// Build a decode table: map (reversed code, length) via a simple
+	// length-indexed lookup per bit prefix. For 4 KB blocks a bit-by-bit
+	// walk with per-length code ranges is fast enough and simple.
+	type rng struct {
+		first uint32 // first canonical code of this length
+		count uint32
+		base  int // index into symsByOrder
+	}
+	var ranges [huffMaxBits + 1]rng
+	var symsByOrder []int
+	{
+		var count [huffMaxBits + 1]uint32
+		for _, l := range lengths {
+			if l > 0 {
+				count[l]++
+			}
+		}
+		code := uint32(0)
+		base := 0
+		for bits := 1; bits <= huffMaxBits; bits++ {
+			code = (code + count[bits-1]) << 1
+			ranges[bits] = rng{first: code, count: count[bits], base: base}
+			base += int(count[bits])
+		}
+		symsByOrder = make([]int, 0, base)
+		for bits := uint8(1); bits <= huffMaxBits; bits++ {
+			for s := 0; s < 256; s++ {
+				if lengths[s] == bits {
+					symsByOrder = append(symsByOrder, s)
+				}
+			}
+		}
+	}
+
+	r := bitReader{in: src}
+	out := uint64(0)
+	for out < n {
+		code := uint32(0)
+		var bits uint8
+		found := false
+		for bits = 1; bits <= huffMaxBits; bits++ {
+			b, ok := r.readBits(1)
+			if !ok {
+				return dst, src, ErrCorrupt
+			}
+			code = code<<1 | b
+			rg := ranges[bits]
+			if rg.count > 0 && code >= rg.first && code < rg.first+rg.count {
+				dst = append(dst, byte(symsByOrder[rg.base+int(code-rg.first)]))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return dst, src, ErrCorrupt
+		}
+		out++
+	}
+	// Consumed bytes: r.pos minus whole bytes still buffered in acc.
+	rem := src[r.pos-int(r.nacc/8):]
+	return dst, rem, nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(src []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range src {
+		if i > 9 {
+			return 0, -1
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, -1
+}

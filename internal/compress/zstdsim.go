@@ -1,0 +1,162 @@
+package compress
+
+// zstd-class codec, built from scratch: an LZ77 stage with a hash-chain
+// matcher (64 KB window, depth-32 search, like zstd's greedy levels)
+// followed by order-0 canonical-Huffman entropy coding (huffman.go) of the
+// two output streams — literals and sequence tokens — separately, echoing
+// zstd's separation of literal and sequence sections. It does not
+// reproduce the RFC 8878 bitstream; DESIGN.md records the substitution.
+//
+// Block layout:
+//
+//	block    := huffBlock(literals) huffBlock(tokens)
+//	tokens   := { seq } ; decoded until exhausted
+//	seq      := litLen varint, matchLen varint,
+//	            offset(2B little-endian, present iff matchLen > 0)
+//
+// matchLen stores length-zstdMinMatch; the final sequence has
+// matchLen == 0 (carrying trailing literals only).
+
+const (
+	zstdMinMatch = 4
+	zstdHashLog  = 14
+	zstdDepth    = 32
+	zstdWindow   = 65535
+)
+
+// Zstd2 is the from-scratch zstd-class codec registered as "zstd".
+type Zstd2 struct{}
+
+// NewZstd returns the zstd-class codec.
+func NewZstd() *Zstd2 { return &Zstd2{} }
+
+// Name implements Codec.
+func (*Zstd2) Name() string { return "zstd" }
+
+func zstdHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - zstdHashLog)
+}
+
+// Compress implements Codec.
+func (*Zstd2) Compress(dst, src []byte) []byte {
+	n := len(src)
+	var literals, tokens []byte
+
+	emitSeq := func(lits []byte, matchLen, offset int) {
+		tokens = appendUvarint(tokens, uint64(len(lits)))
+		if matchLen > 0 {
+			tokens = appendUvarint(tokens, uint64(matchLen-zstdMinMatch+1))
+			tokens = append(tokens, byte(offset), byte(offset>>8))
+		} else {
+			tokens = appendUvarint(tokens, 0)
+		}
+		literals = append(literals, lits...)
+	}
+
+	if n >= zstdMinMatch+4 {
+		var table [1 << zstdHashLog]int32
+		chain := make([]int32, n)
+		anchor := 0
+		pos := 0
+		limit := n - 4
+		for pos <= limit {
+			h := zstdHash(load32(src, pos))
+			cand := int(table[h]) - 1
+			table[h] = int32(pos + 1)
+			chain[pos] = int32(cand + 1)
+
+			bestLen, bestOff := 0, 0
+			for c, tries := cand, zstdDepth; c >= 0 && tries > 0; tries-- {
+				off := pos - c
+				if off > zstdWindow {
+					break
+				}
+				if load32(src, c) == load32(src, pos) {
+					l := lz4MatchLen(src, c, pos, n)
+					if l > bestLen {
+						bestLen, bestOff = l, off
+					}
+				}
+				c = int(chain[c]) - 1
+			}
+			if bestLen < zstdMinMatch {
+				pos++
+				continue
+			}
+			emitSeq(src[anchor:pos], bestLen, bestOff)
+			end := pos + bestLen
+			for p := pos + 1; p < end && p <= limit; p++ {
+				hh := zstdHash(load32(src, p))
+				chain[p] = table[hh]
+				table[hh] = int32(p + 1)
+			}
+			pos = end
+			anchor = pos
+		}
+		emitSeq(src[anchor:], 0, 0)
+	} else {
+		emitSeq(src, 0, 0)
+	}
+
+	dst = huffEncode(dst, literals)
+	return huffEncode(dst, tokens)
+}
+
+// Decompress implements Codec.
+func (*Zstd2) Decompress(dst, src []byte) ([]byte, error) {
+	base := len(dst)
+	var literals, tokens []byte
+	var err error
+	literals, src, err = huffDecode(nil, src)
+	if err != nil {
+		return dst, err
+	}
+	tokens, src, err = huffDecode(nil, src)
+	if err != nil {
+		return dst, err
+	}
+	if len(src) != 0 {
+		return dst, ErrCorrupt
+	}
+
+	litPos := 0
+	i := 0
+	for i < len(tokens) {
+		litLen, used := readUvarint(tokens[i:])
+		if used <= 0 {
+			return dst, ErrCorrupt
+		}
+		i += used
+		if uint64(litPos)+litLen > uint64(len(literals)) {
+			return dst, ErrCorrupt
+		}
+		dst = append(dst, literals[litPos:litPos+int(litLen)]...)
+		litPos += int(litLen)
+
+		mlCode, used := readUvarint(tokens[i:])
+		if used <= 0 {
+			return dst, ErrCorrupt
+		}
+		i += used
+		if mlCode == 0 {
+			continue // literal-only (final) sequence
+		}
+		matchLen := int(mlCode) + zstdMinMatch - 1
+		if i+2 > len(tokens) {
+			return dst, ErrCorrupt
+		}
+		offset := int(tokens[i]) | int(tokens[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(dst)-base {
+			return dst, ErrCorrupt
+		}
+		m := len(dst) - offset
+		for j := 0; j < matchLen; j++ {
+			dst = append(dst, dst[m+j])
+		}
+	}
+	if litPos != len(literals) {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}

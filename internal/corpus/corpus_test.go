@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		g1 := NewGenerator(p, 42)
+		g2 := NewGenerator(p, 42)
+		a := g1.Page(7, 4096)
+		b := g2.Page(7, 4096)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: same (seed,page) produced different contents", p)
+		}
+	}
+}
+
+func TestPagesDiffer(t *testing.T) {
+	// Different page indices should produce different contents (except Zero).
+	for _, p := range []Profile{NCI, Dickens, Binary, Random, Mixed} {
+		g := NewGenerator(p, 1)
+		a := g.Page(1, 4096)
+		b := g.Page(2, 4096)
+		if bytes.Equal(a, b) {
+			t.Errorf("%v: pages 1 and 2 identical", p)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	for _, p := range []Profile{NCI, Dickens, Binary, Random} {
+		a := NewGenerator(p, 1).Page(0, 4096)
+		b := NewGenerator(p, 2).Page(0, 4096)
+		if bytes.Equal(a, b) {
+			t.Errorf("%v: different seeds produced identical page 0", p)
+		}
+	}
+}
+
+func TestZeroIsZero(t *testing.T) {
+	g := NewGenerator(Zero, 9)
+	for _, b := range g.Page(3, 4096) {
+		if b != 0 {
+			t.Fatal("Zero profile produced non-zero byte")
+		}
+	}
+}
+
+// deflateRatio returns compressed/original size using stdlib flate as an
+// independent reference compressor.
+func deflateRatio(t *testing.T, data []byte) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return float64(buf.Len()) / float64(len(data))
+}
+
+func TestCompressibilityOrdering(t *testing.T) {
+	// The profiles must produce the compressibility ordering the paper's
+	// characterization relies on: nci much more compressible than dickens,
+	// random incompressible.
+	page := func(p Profile) []byte {
+		g := NewGenerator(p, 123)
+		out := make([]byte, 0, 16*4096)
+		for i := uint64(0); i < 16; i++ {
+			out = append(out, g.Page(i, 4096)...)
+		}
+		return out
+	}
+	nci := deflateRatio(t, page(NCI))
+	dickens := deflateRatio(t, page(Dickens))
+	random := deflateRatio(t, page(Random))
+	binary := deflateRatio(t, page(Binary))
+
+	if nci >= dickens {
+		t.Errorf("nci ratio %.3f should be < dickens %.3f", nci, dickens)
+	}
+	if dickens >= random {
+		t.Errorf("dickens ratio %.3f should be < random %.3f", dickens, random)
+	}
+	if nci > 0.15 {
+		t.Errorf("nci ratio %.3f; want highly compressible (<0.15)", nci)
+	}
+	if dickens < 0.2 || dickens > 0.7 {
+		t.Errorf("dickens ratio %.3f; want text-like (0.2..0.7)", dickens)
+	}
+	if random < 0.95 {
+		t.Errorf("random ratio %.3f; want ~1 (incompressible)", random)
+	}
+	if binary > 0.5 {
+		t.Errorf("binary ratio %.3f; want moderately compressible (<0.5)", binary)
+	}
+}
+
+func TestFillMatchesPage(t *testing.T) {
+	g := NewGenerator(Dickens, 5)
+	buf := make([]byte, 4096)
+	g.Fill(11, buf)
+	if !bytes.Equal(buf, g.Page(11, 4096)) {
+		t.Fatal("Fill and Page disagree")
+	}
+}
+
+func TestFillOverwritesEntireBuffer(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewGenerator(p, 3)
+		buf := make([]byte, 4096)
+		for i := range buf {
+			buf[i] = 0xAA
+		}
+		g.Fill(0, buf)
+		// After filling, the buffer must not retain long runs of the sentinel
+		// (except profiles that legitimately write 0xAA — none write long AA runs).
+		run := 0
+		maxRun := 0
+		for _, b := range buf {
+			if b == 0xAA {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		if maxRun > 64 {
+			t.Errorf("%v: Fill left %d-byte run of sentinel bytes", p, maxRun)
+		}
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	want := map[Profile]string{
+		Zero: "zero", NCI: "nci", Binary: "binary",
+		Dickens: "dickens", Mixed: "mixed", Random: "random",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Profile(99).String() != "unknown" {
+		t.Error("unknown profile should stringify as unknown")
+	}
+}
+
+func TestOddSizeBuffers(t *testing.T) {
+	for _, p := range Profiles() {
+		g := NewGenerator(p, 4)
+		for _, size := range []int{1, 63, 100, 4095} {
+			buf := g.Page(0, size)
+			if len(buf) != size {
+				t.Fatalf("%v size %d: got %d", p, size, len(buf))
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"tierscape/internal/corpus"
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
+)
+
+// CompressibilityAware evaluates §9's future-work direction (ii) —
+// choosing tiers based on data compressibility. The workload's address
+// space mixes whole regions of highly-compressible, text-like and
+// incompressible data (corpus.Regional); the compressibility-blind AM uses
+// one measured ratio per tier, while the aware AM probes each region's
+// actual ratio under each tier's codec. Aware placement should route
+// incompressible regions to NVMM instead of wasting (de)compression work
+// and pool space on them.
+func CompressibilityAware(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Extension: compressibility-aware tier choice (masim over regional data)",
+		Headers: []string{"model", "slowdown_pct", "tco_savings_pct", "ct_rejects"},
+	}
+	// masim over a Regional corpus: every region's hotness is similar
+	// enough that compressibility, not temperature, must drive placement.
+	mkWl := func() workload.Workload {
+		return workload.DefaultMasim(2*mem.RegionPages, int64(s.OpsPerWindow), s.Seed)
+	}
+	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
+		return mem.NewManager(mem.Config{
+			NumPages: wl.NumPages(),
+			Content:  corpus.NewGenerator(corpus.Regional, seed),
+			// No NVMM escape hatch: compressed tiers are the only savings
+			// avenue, so compressibility mistakes are visible as rejects.
+			CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
+		})
+	}
+	run := func(mdl model.Model) (*sim.Result, error) {
+		wl := mkWl()
+		m, err := build(wl, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{
+			Manager: m, Workload: wl, Model: mdl,
+			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
+		})
+	}
+	base, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range []struct {
+		name  string
+		aware bool
+	}{
+		{"AM-blind", false},
+		{"AM-aware", true},
+	} {
+		res, err := run(&model.Analytical{
+			Alpha:                0.2,
+			ModelName:            cfg.name,
+			CompressibilityAware: cfg.aware,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rejects := 0
+		for _, w := range res.Windows {
+			rejects += w.Rejected
+		}
+		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), rejects)
+	}
+	t.Note("aware probing avoids sending incompressible regions to compressed tiers")
+	return t, nil
+}

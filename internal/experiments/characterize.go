@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/ztier"
+)
+
+// Fig2 reproduces the characterization of §5 (Figure 2a/2b): for each of
+// the 12 tiers C1…C12 and each data set (nci, dickens), compress
+// pagesPerTier pages into the tier, then report
+//
+//   - access latency: the modeled fault latency averaged over the stored
+//     objects' real compressed sizes (Figure 2a), and
+//   - normalized memory TCO: the tier's physical footprint times its
+//     medium's unit cost, relative to the same data uncompressed in DRAM
+//     (Figure 2b).
+func Fig2(pagesPerTier int) *Table {
+	t := &Table{
+		Title:   "Figure 2: characterization of 12 compressed tiers (nci, dickens)",
+		Headers: []string{"tier", "config", "dataset", "access_us", "norm_tco", "ratio"},
+	}
+	if pagesPerTier <= 0 {
+		pagesPerTier = 512
+	}
+	for _, dataset := range []corpus.Profile{corpus.NCI, corpus.Dickens} {
+		for k := 1; k <= 12; k++ {
+			cfg := ztier.Characterization(k)
+			tier := ztier.MustNew(k, cfg)
+			gen := corpus.NewGenerator(dataset, 7)
+			var handles []ztier.Handle
+			var stored int
+			for i := 0; i < pagesPerTier; i++ {
+				h, _, err := tier.Store(gen.Page(uint64(i), ztier.PageSize))
+				if err != nil {
+					continue // incompressible page rejected, like zswap
+				}
+				handles = append(handles, h)
+				stored++
+			}
+			// Average modeled access latency over real compressed sizes.
+			var latNs float64
+			for _, h := range handles {
+				latNs += tier.AccessNs(h.CompressedSize())
+			}
+			if len(handles) > 0 {
+				latNs /= float64(len(handles))
+			}
+			st := tier.Stats()
+			logicalBytes := float64(stored) * ztier.PageSize
+			normTCO := 0.0
+			ratio := 0.0
+			if logicalBytes > 0 {
+				dramCost := logicalBytes / (1 << 30) * media.Props(media.DRAM).CostPerGB
+				tierCost := float64(st.PoolBytes()) / (1 << 30) * tier.CostPerGB()
+				normTCO = tierCost / dramCost
+				ratio = float64(st.CompressedBytes) / logicalBytes
+			}
+			t.Addf(fmt.Sprintf("C%d", k), cfg.String(), dataset.String(),
+				latNs/1000, normTCO, ratio)
+		}
+	}
+	t.Note("access_us is the modeled fault latency (pool lookup + media read + decompress)")
+	t.Note("norm_tco < 1 means cheaper than uncompressed DRAM; DRAM load is 0.033us for comparison")
+	return t
+}
+
+// Table1 reproduces Table 1: the Linux compressed-tier option space
+// (7 codecs × 3 pool managers × 3 media = 63 tiers).
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: compressed-tier option space in Linux",
+		Headers: []string{"codec", "pool", "media", "encoding"},
+	}
+	for _, cfg := range ztier.OptionSpace() {
+		t.Add(cfg.Codec, cfg.Pool, cfg.Media.Name(), cfg.String())
+	}
+	t.Note("%d total configurations", len(t.Rows))
+	return t
+}

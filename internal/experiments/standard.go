@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+	"tierscape/internal/telemetry"
+	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
+)
+
+// fractionPlacement statically places the coldest frac of regions into a
+// single compressed tier — the naive aggressive-placement policy whose
+// drawbacks Figure 1 illustrates.
+type fractionPlacement struct {
+	frac float64
+	ct   mem.TierID
+}
+
+func (f *fractionPlacement) Name() string {
+	return fmt.Sprintf("place-%.0f%%", f.frac*100)
+}
+
+func (f *fractionPlacement) Recommend(m *mem.Manager, prof telemetry.Profile) model.Recommendation {
+	thr := prof.Threshold(f.frac * 100)
+	n := m.NumRegions()
+	dest := make([]mem.TierID, n)
+	for r := int64(0); r < n; r++ {
+		if prof.Hotness[r] <= thr {
+			dest[r] = f.ct
+		} else {
+			dest[r] = mem.DRAMTier
+		}
+	}
+	return model.Recommendation{Dest: dest}
+}
+
+// Fig1 reproduces Figure 1: Memcached on DRAM + one compressed tier
+// (zstd/zsmalloc on DRAM, the TMO-style single tier), placing 20%, 50%
+// and 80% of the data in the compressed tier. Savings rise with placement
+// aggressiveness — and so does the slowdown.
+func Fig1(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 1: aggressiveness of single-compressed-tier placement (Memcached)",
+		Headers: []string{"placement", "tco_savings_pct", "slowdown_pct"},
+	}
+	mkWl := func() workload.Workload {
+		return workload.Memcached(workload.DriverMemtier, 1024, s.KVPages, s.Seed)
+	}
+	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
+		return mem.NewManager(mem.Config{
+			NumPages:        wl.NumPages(),
+			Content:         corpus.NewGenerator(wl.Content(), seed),
+			CompressedTiers: []ztier.Config{{Codec: "zstd", Pool: "zsmalloc", Media: 0}},
+		})
+	}
+	runCfg := func(mdl model.Model) (*sim.Result, error) {
+		wl := mkWl()
+		m, err := build(wl, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(sim.Config{
+			Manager: m, Workload: wl, Model: mdl,
+			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
+		})
+	}
+	base, err := runCfg(nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		res, err := runCfg(&fractionPlacement{frac: frac, ct: 1})
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(fmt.Sprintf("%.0f%%", frac*100), res.SavingsPct(), res.SlowdownPctVs(base))
+	}
+	t.Note("paper: 20%%->11%% savings/9.5%% slowdown, 50%%->16%%/13.5%%, 80%%->32%%/20%%")
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: performance slowdown and memory TCO savings
+// versus all-DRAM for HeMem*, GSwap*, TMO*, Waterfall, AM-TCO and AM-perf
+// on the standard tier mix, for every workload.
+func Fig7(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 7: standard mix of tiers — slowdown vs TCO savings",
+		Headers: []string{"workload", "model", "slowdown_pct", "tco_savings_pct", "faults"},
+	}
+	specs := Workloads()
+	models := standardModels()
+	// One job per (workload, model) pair, plus one baseline per workload;
+	// every run is independent, so the whole matrix fans out in parallel.
+	bases := make([]*sim.Result, len(specs))
+	results := make([]*sim.Result, len(specs)*len(models))
+	err := runParallel(len(specs)*(len(models)+1), func(i int) error {
+		wi := i / (len(models) + 1)
+		mi := i%(len(models)+1) - 1
+		var mdl model.Model
+		if mi >= 0 {
+			mdl = models[mi]
+		}
+		res, err := runOne(s, specs[wi], mdl, standardManager)
+		if err != nil {
+			return err
+		}
+		if mi < 0 {
+			bases[wi] = res
+		} else {
+			results[wi*len(models)+mi] = res
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, spec := range specs {
+		for mi := range models {
+			res := results[wi*len(models)+mi]
+			t.Addf(spec.Name, res.ModelName, res.SlowdownPctVs(bases[wi]),
+				res.SavingsPct(), res.Faults)
+		}
+	}
+	t.Note("paper shape: AM-TCO gives the best savings at modest slowdown; AM-perf the least slowdown")
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: the Waterfall model's per-window placement for
+// Memcached/YCSB and the resulting TCO trend.
+func Fig8(s Scale) (*Table, error) {
+	spec := workloadByName("Memcached/YCSB")
+	res, err := runOne(s, spec, &model.Waterfall{Pct: 25}, standardManager)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 8: Waterfall placement per window (Memcached/YCSB)",
+		Headers: []string{"window", "dram", "nvmm", "ct1", "ct2", "tco", "tco_savings_pct"},
+	}
+	max := res.TCOMax
+	for _, w := range res.Windows {
+		t.Addf(w.Window, w.TierPages[0], w.TierPages[1], w.TierPages[2], w.TierPages[3],
+			w.TCO, (max-w.TCO)/max*100)
+	}
+	t.Note("pages first waterfall to NVMM, then age toward CT-2; TCO falls over windows")
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: AM-TCO's recommendations vs. actual placement,
+// cumulative compressed-tier faults, and the TCO trend for Memcached/YCSB
+// (whose hot set drifts — §8.2.2's deep dive).
+func Fig9(s Scale) (*Table, error) {
+	spec := workloadByName("Memcached/YCSB")
+	res, err := runOne(s, spec, &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"}, standardManager)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Figure 9: AM-TCO recommendation vs actual placement (Memcached/YCSB)",
+		Headers: []string{"window", "rec_dram", "rec_nvmm", "rec_ct1", "rec_ct2",
+			"act_dram", "act_nvmm", "act_ct1", "act_ct2", "ct_faults", "tco"},
+	}
+	for _, w := range res.Windows {
+		rp := w.RecommendedPages
+		t.Addf(w.Window, rp[0], rp[1], rp[2], rp[3],
+			w.TierPages[0], w.TierPages[1], w.TierPages[2], w.TierPages[3],
+			w.Faults, w.TCO)
+	}
+	t.Note("drifting access pattern faults CT pages back to DRAM/NVMM, so actuals lag recommendations")
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: the knob sweep. AM runs at five α values;
+// HeMem*, GSwap*, TMO* and Waterfall run at two thresholds (P25, P75).
+func Fig10(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 10: multi-objective tuning (Memcached/YCSB)",
+		Headers: []string{"config", "slowdown_pct", "tco_savings_pct"},
+	}
+	spec := workloadByName("Memcached/YCSB")
+	base, err := runOne(s, spec, nil, standardManager)
+	if err != nil {
+		return nil, err
+	}
+	for _, alpha := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		mdl := &model.Analytical{Alpha: alpha, ModelName: fmt.Sprintf("AM-a%.1f", alpha)}
+		res, err := runOne(s, spec, mdl, standardManager)
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(mdl.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
+	}
+	for _, pct := range []float64{25, 75} {
+		for _, mdl := range []model.Model{
+			model.HeMem(stdNVMM, pct),
+			model.GSwap(stdCT1, pct),
+			model.TMO(stdCT2, pct),
+			&model.Waterfall{Pct: pct},
+		} {
+			res, err := runOne(s, spec, mdl, standardManager)
+			if err != nil {
+				return nil, err
+			}
+			t.Addf(fmt.Sprintf("%s-P%.0f", res.ModelName, pct),
+				res.SlowdownPctVs(base), res.SavingsPct())
+		}
+	}
+	t.Note("AM's alpha traces a savings/slowdown frontier; baselines are fixed points")
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: Redis op latency (average, P95, P99.9)
+// normalized to the all-DRAM baseline for every tiering technique.
+func Fig11(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 11: Redis latency normalized to DRAM",
+		Headers: []string{"model", "avg", "p95", "p99.9"},
+	}
+	spec := workloadByName("Redis/YCSB")
+	base, err := runOne(s, spec, nil, standardManager)
+	if err != nil {
+		return nil, err
+	}
+	bAvg, bP95, bP999 := base.OpLat.Mean(), base.OpLat.Percentile(95), base.OpLat.Percentile(99.9)
+	for _, mdl := range standardModels() {
+		res, err := runOne(s, spec, mdl, standardManager)
+		if err != nil {
+			return nil, err
+		}
+		t.Addf(res.ModelName,
+			res.OpLat.Mean()/bAvg,
+			res.OpLat.Percentile(95)/bP95,
+			res.OpLat.Percentile(99.9)/bP999)
+	}
+	t.Note("paper: TierScape's scattering keeps tails lower than two-tier baselines;")
+	t.Note("TMO* beats HeMem* on average latency (promote-on-first-fault, §8.2.4)")
+	return t, nil
+}

@@ -1,0 +1,360 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tierscape/internal/stats"
+)
+
+// bruteForce enumerates every assignment — the ground truth for small
+// instances.
+func bruteForce(p Problem) Solution {
+	n := len(p.Classes)
+	best := Solution{Cost: math.Inf(1), Choice: make([]int, n)}
+	cur := make([]int, n)
+	var rec func(k int, cost, weight float64)
+	rec = func(k int, cost, weight float64) {
+		if k == n {
+			if weight <= p.Budget && cost < best.Cost {
+				best.Cost = cost
+				best.Weight = weight
+				copy(best.Choice, cur)
+				best.Feasible = true
+			}
+			return
+		}
+		for j, o := range p.Classes[k] {
+			cur[k] = j
+			rec(k+1, cost+o.Cost, weight+o.Weight)
+		}
+	}
+	rec(0, 0, 0)
+	best.Optimal = best.Feasible
+	return best
+}
+
+func randomProblem(rng *stats.RNG, nClasses, nOpts int) Problem {
+	p := Problem{}
+	totalMax := 0.0
+	for i := 0; i < nClasses; i++ {
+		var c []Option
+		for j := 0; j < nOpts; j++ {
+			c = append(c, Option{
+				Cost:   rng.Float64() * 100,
+				Weight: rng.Float64() * 100,
+			})
+		}
+		p.Classes = append(p.Classes, c)
+		maxw := 0.0
+		for _, o := range c {
+			if o.Weight > maxw {
+				maxw = o.Weight
+			}
+		}
+		totalMax += maxw
+	}
+	p.Budget = rng.Float64() * totalMax
+	return p
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(6), 2+rng.Intn(4))
+		want := bruteForce(p)
+		got, err := SolveExact(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Feasible != got.Feasible {
+			t.Fatalf("trial %d: feasible %v vs brute %v", trial, got.Feasible, want.Feasible)
+		}
+		if !want.Feasible {
+			continue
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: exact cost %v, brute %v", trial, got.Cost, want.Cost)
+		}
+		if got.Weight > p.Budget+1e-9 {
+			t.Fatalf("trial %d: exact violates budget", trial)
+		}
+		if !got.Optimal {
+			t.Fatalf("trial %d: exact did not prove optimality", trial)
+		}
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	rng := stats.NewRNG(7)
+	worst := 0.0
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng, 10, 4)
+		exact, err := SolveExact(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := SolveGreedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Feasible && !greedy.Feasible {
+			t.Fatalf("trial %d: greedy infeasible where exact feasible", trial)
+		}
+		if !exact.Feasible {
+			continue
+		}
+		if greedy.Weight > p.Budget+1e-9 {
+			t.Fatalf("trial %d: greedy violates budget", trial)
+		}
+		if greedy.Cost < exact.Cost-1e-9 {
+			t.Fatalf("trial %d: greedy beat exact?! %v < %v", trial, greedy.Cost, exact.Cost)
+		}
+		var gap float64
+		if exact.Cost > 0 {
+			gap = (greedy.Cost - exact.Cost) / exact.Cost
+		}
+		if gap > worst {
+			worst = gap
+		}
+	}
+	// One-class rounding error bounds the greedy; on 10-class problems it
+	// should stay within ~30% of optimal, and usually far closer.
+	if worst > 0.3 {
+		t.Fatalf("greedy worst-case gap %.3f too large", worst)
+	}
+}
+
+func TestChoiceValidityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := randomProblem(rng, 1+rng.Intn(20), 1+rng.Intn(6))
+		for _, solve := range []func(Problem) (Solution, error){
+			SolveGreedy,
+			func(p Problem) (Solution, error) { return SolveExact(p, 0) },
+		} {
+			s, err := solve(p)
+			if err != nil {
+				return false
+			}
+			if len(s.Choice) != len(p.Classes) {
+				return false
+			}
+			cost, weight := 0.0, 0.0
+			for i, j := range s.Choice {
+				if j < 0 || j >= len(p.Classes[i]) {
+					return false
+				}
+				cost += p.Classes[i][j].Cost
+				weight += p.Classes[i][j].Weight
+			}
+			if math.Abs(cost-s.Cost) > 1e-6 || math.Abs(weight-s.Weight) > 1e-6 {
+				return false
+			}
+			if s.Feasible != (s.Weight <= p.Budget) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlimitedBudgetPicksMinCost(t *testing.T) {
+	p := Problem{
+		Classes: [][]Option{
+			{{Cost: 5, Weight: 10}, {Cost: 0, Weight: 100}},
+			{{Cost: 3, Weight: 10}, {Cost: 1, Weight: 50}},
+		},
+		Budget: 1e9,
+	}
+	s, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost != 1 || s.Choice[0] != 1 || s.Choice[1] != 1 {
+		t.Fatalf("unlimited budget: %+v", s)
+	}
+	if !s.Optimal {
+		t.Fatal("zero-pressure solution should be optimal")
+	}
+}
+
+func TestTightBudgetForcesDowngrades(t *testing.T) {
+	// Two classes, each: DRAM-ish (cost 0, weight 100) vs CT-ish
+	// (cost 10, weight 20). Budget 130 forces exactly one downgrade.
+	p := Problem{
+		Classes: [][]Option{
+			{{Cost: 0, Weight: 100}, {Cost: 10, Weight: 20}},
+			{{Cost: 0, Weight: 100}, {Cost: 10, Weight: 20}},
+		},
+		Budget: 130,
+	}
+	s, err := SolveExact(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost != 10 || s.Weight != 120 {
+		t.Fatalf("got cost=%v weight=%v, want 10,120", s.Cost, s.Weight)
+	}
+}
+
+func TestInfeasibleReturnsMinWeight(t *testing.T) {
+	p := Problem{
+		Classes: [][]Option{{{Cost: 0, Weight: 100}, {Cost: 10, Weight: 50}}},
+		Budget:  10,
+	}
+	for _, solve := range []func(Problem) (Solution, error){
+		SolveGreedy,
+		func(p Problem) (Solution, error) { return SolveExact(p, 0) },
+	} {
+		s, err := solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Feasible {
+			t.Fatal("should be infeasible")
+		}
+		if s.Weight != 50 {
+			t.Fatalf("infeasible fallback weight = %v, want min-weight 50", s.Weight)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := SolveGreedy(Problem{}); err == nil {
+		t.Error("empty problem should fail")
+	}
+	if _, err := SolveGreedy(Problem{Classes: [][]Option{{}}}); err == nil {
+		t.Error("empty class should fail")
+	}
+	if _, err := SolveGreedy(Problem{Classes: [][]Option{{{Cost: -1, Weight: 1}}}}); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if _, err := SolveGreedy(Problem{Classes: [][]Option{{{Cost: math.NaN(), Weight: 1}}}}); err == nil {
+		t.Error("NaN should fail")
+	}
+}
+
+func TestMinMaxWeight(t *testing.T) {
+	p := Problem{
+		Classes: [][]Option{
+			{{Cost: 0, Weight: 100}, {Cost: 10, Weight: 20}},
+			{{Cost: 0, Weight: 50}, {Cost: 5, Weight: 10}},
+		},
+	}
+	if MinWeight(p) != 30 {
+		t.Fatalf("MinWeight = %v, want 30", MinWeight(p))
+	}
+	if MaxWeight(p) != 150 {
+		t.Fatalf("MaxWeight = %v, want 150", MaxWeight(p))
+	}
+}
+
+func TestBudgetSweepMonotone(t *testing.T) {
+	// As the budget loosens (α grows), optimal cost must not increase —
+	// the knob behaviour of Figure 5/10.
+	rng := stats.NewRNG(99)
+	p := randomProblem(rng, 12, 5)
+	lo, hi := MinWeight(p), MaxWeight(p)
+	prev := math.Inf(1)
+	for alpha := 0.0; alpha <= 1.0001; alpha += 0.1 {
+		p.Budget = lo + alpha*(hi-lo)
+		s, err := SolveExact(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Feasible {
+			t.Fatalf("alpha=%.1f should be feasible", alpha)
+		}
+		if s.Cost > prev+1e-9 {
+			t.Fatalf("cost increased as budget loosened: %v -> %v", prev, s.Cost)
+		}
+		prev = s.Cost
+	}
+}
+
+func TestLargeInstanceGreedyScales(t *testing.T) {
+	rng := stats.NewRNG(5)
+	p := randomProblem(rng, 5000, 6)
+	s, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Feasible && MinWeight(p) <= p.Budget {
+		t.Fatal("greedy failed a feasible large instance")
+	}
+}
+
+func TestSolveTimeNsPositive(t *testing.T) {
+	p := Problem{Classes: [][]Option{{{Cost: 1, Weight: 1}}}}
+	if SolveTimeNs(p) <= 0 {
+		t.Fatal("solver tax must be positive")
+	}
+}
+
+func TestExactNodeBudgetAbort(t *testing.T) {
+	rng := stats.NewRNG(3)
+	p := randomProblem(rng, 30, 6)
+	s, err := SolveExact(p, 10) // absurdly small node budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must still return the greedy-seeded feasible solution.
+	if s.Feasible && s.Weight > p.Budget+1e-9 {
+		t.Fatal("aborted solve returned budget-violating solution")
+	}
+	if s.Optimal && s.Nodes > 10 {
+		t.Fatal("claimed optimality after abort")
+	}
+}
+
+func TestDPCrossChecksExact(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 50; trial++ {
+		p := randomProblem(rng, 2+rng.Intn(8), 2+rng.Intn(4))
+		exact, err := SolveExact(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := SolveDP(p, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Feasible {
+			continue
+		}
+		if dp.Feasible && dp.Weight > p.Budget+1e-9 {
+			t.Fatalf("trial %d: DP violates budget", trial)
+		}
+		// DP is exact on the quantized instance: its cost must be within
+		// the quantization slack of the true optimum, and never better.
+		if dp.Cost < exact.Cost-1e-9 {
+			t.Fatalf("trial %d: DP cost %v beat exact %v", trial, dp.Cost, exact.Cost)
+		}
+		if dp.Feasible && exact.Cost > 0 {
+			gap := (dp.Cost - exact.Cost) / exact.Cost
+			if gap > 0.05 {
+				t.Fatalf("trial %d: DP gap %.3f too large at 5000 buckets", trial, gap)
+			}
+		}
+	}
+}
+
+func TestDPValidationAndDegenerate(t *testing.T) {
+	if _, err := SolveDP(Problem{}, 100); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	// Zero budget: falls back to exact semantics.
+	p := Problem{Classes: [][]Option{{{Cost: 1, Weight: 0}, {Cost: 0, Weight: 5}}}, Budget: 0}
+	s, err := SolveDP(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Feasible && s.Weight > 0 {
+		t.Fatalf("zero budget: %+v", s)
+	}
+}

@@ -1,0 +1,616 @@
+// Package mem implements the tiered memory manager at the heart of the
+// TierScape reproduction: a simulated address space of 4 KB pages grouped
+// into 2 MB regions, placed across byte-addressable tiers (DRAM, NVMM,
+// CXL) and compressed tiers (internal/ztier).
+//
+// The manager is the kernel-side analogue of the paper's Linux changes
+// (§7.1): it tracks each page's tier (the struct-page tier_id field),
+// performs demotion/promotion migrations at region granularity, handles
+// faults on compressed pages (decompress + place in DRAM, or the next
+// byte-addressable tier when DRAM is full), supports compressed-to-
+// compressed migration via the naive decompress-recompress path, and keeps
+// per-tier statistics.
+//
+// Page contents are deterministic functions of (page index, page version):
+// pages resident in byte-addressable tiers need no storage at all and are
+// regenerated on demand when compressed; writes bump the version. This
+// keeps multi-GB-scale simulated footprints cheap while compression ratios
+// remain grounded in real compressed bytes.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"tierscape/internal/compress"
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/ztier"
+)
+
+// PageSize is the page size in bytes.
+const PageSize = 4096
+
+// RegionPages is the number of pages per region (2 MB regions, §7.2).
+const RegionPages = 512
+
+// RegionSize is the region size in bytes.
+const RegionSize = PageSize * RegionPages
+
+// PageID is a virtual page number.
+type PageID int64
+
+// RegionID identifies a 2 MB region.
+type RegionID int64
+
+// Region returns the region containing page p.
+func (p PageID) Region() RegionID { return RegionID(p / RegionPages) }
+
+// TierID identifies a tier within a Manager. Tier 0 is always DRAM.
+type TierID int
+
+// DRAMTier is the TierID of the DRAM tier.
+const DRAMTier TierID = 0
+
+// Errors returned by the manager.
+var (
+	ErrNoSuchTier = errors.New("mem: no such tier")
+	ErrTierFull   = errors.New("mem: destination tier is full")
+	ErrBadPage    = errors.New("mem: page id out of range")
+)
+
+// TierInfo describes one tier of a Manager for policy/model consumption.
+type TierInfo struct {
+	ID TierID
+	// Name is "DRAM", "NVMM", "CXL" for byte-addressable tiers or the
+	// ztier encoding (e.g. "ZS-LO-DR") for compressed tiers.
+	Name string
+	// Compressed reports whether this is a compressed tier.
+	Compressed bool
+	// Media is the backing medium.
+	Media media.Kind
+	// CapacityPages bounds resident (uncompressed-equivalent) pages;
+	// 0 means unbounded.
+	CapacityPages int64
+	// Codec is the compression algorithm name for compressed tiers
+	// ("" for byte-addressable tiers).
+	Codec string
+	// AccessNs is the modeled latency of one access: the medium load
+	// latency for byte-addressable tiers, or the typical fault latency
+	// for compressed tiers.
+	AccessNs float64
+	// CostPerGB is the backing medium's unit cost.
+	CostPerGB float64
+}
+
+// baTier is a byte-addressable tier's state.
+type baTier struct {
+	info  TierInfo
+	pages int64 // resident pages
+}
+
+// ctTier wraps a compressed tier.
+type ctTier struct {
+	info  TierInfo
+	tier  *ztier.Tier
+	pages int64
+}
+
+// pte is a page-table entry.
+type pte struct {
+	tier    TierID
+	version uint32
+	handle  ztier.Handle // valid when the tier is compressed
+}
+
+// Config configures a Manager.
+type Config struct {
+	// NumPages is the address-space size in pages.
+	NumPages int64
+	// Content generates page contents; required.
+	Content corpus.Source
+	// DRAMCapacityPages bounds the DRAM tier (0 = unbounded).
+	DRAMCapacityPages int64
+	// ByteTiers lists additional byte-addressable tiers in latency order
+	// (e.g. NVMM). DRAM is implicit and always tier 0.
+	ByteTiers []media.Kind
+	// CompressedTiers lists the compressed tier configs, in the caller's
+	// preferred latency order. Their TierIDs follow the byte tiers.
+	CompressedTiers []ztier.Config
+}
+
+// Manager is the tiered memory manager.
+type Manager struct {
+	numPages int64
+	gen      corpus.Source
+	ptes     []pte
+
+	ba  []*baTier // index 0 = DRAM
+	cts []*ctTier
+
+	tiers []TierInfo // all tiers by TierID
+
+	// counters
+	faults     int64 // compressed-tier faults (on-demand decompressions)
+	migratedIn map[TierID]int64
+	migrations int64
+	rejects    int64
+
+	scratch []byte
+}
+
+// NewManager builds a manager with all pages initially resident in DRAM.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.NumPages <= 0 {
+		return nil, fmt.Errorf("mem: NumPages must be positive, got %d", cfg.NumPages)
+	}
+	if cfg.Content == nil {
+		return nil, errors.New("mem: Config.Content is required")
+	}
+	m := &Manager{
+		numPages:   cfg.NumPages,
+		gen:        cfg.Content,
+		ptes:       make([]pte, cfg.NumPages),
+		migratedIn: make(map[TierID]int64),
+	}
+	addBA := func(k media.Kind, capacity int64) {
+		id := TierID(len(m.tiers))
+		p := media.Props(k)
+		info := TierInfo{
+			ID: id, Name: k.Name(), Media: k,
+			CapacityPages: capacity,
+			AccessNs:      p.LoadNs,
+			CostPerGB:     p.CostPerGB,
+		}
+		m.ba = append(m.ba, &baTier{info: info})
+		m.tiers = append(m.tiers, info)
+	}
+	addBA(media.DRAM, cfg.DRAMCapacityPages)
+	for _, k := range cfg.ByteTiers {
+		addBA(k, 0)
+	}
+	for _, tc := range cfg.CompressedTiers {
+		id := TierID(len(m.tiers))
+		zt, err := ztier.New(int(id), tc)
+		if err != nil {
+			return nil, err
+		}
+		info := TierInfo{
+			ID: id, Name: tc.String(), Compressed: true, Media: tc.Media,
+			Codec:     tc.Codec,
+			AccessNs:  zt.TypicalAccessNs(),
+			CostPerGB: zt.CostPerGB(),
+		}
+		m.cts = append(m.cts, &ctTier{info: info, tier: zt})
+		m.tiers = append(m.tiers, info)
+	}
+	// All pages start in DRAM.
+	m.ba[0].pages = cfg.NumPages
+	return m, nil
+}
+
+// NumPages returns the address-space size in pages.
+func (m *Manager) NumPages() int64 { return m.numPages }
+
+// NumRegions returns the number of 2 MB regions (rounded up).
+func (m *Manager) NumRegions() int64 {
+	return (m.numPages + RegionPages - 1) / RegionPages
+}
+
+// Tiers returns descriptors for every tier, indexed by TierID.
+func (m *Manager) Tiers() []TierInfo {
+	out := make([]TierInfo, len(m.tiers))
+	copy(out, m.tiers)
+	return out
+}
+
+// TierOf returns the tier currently holding page p.
+func (m *Manager) TierOf(p PageID) TierID {
+	return m.ptes[p].tier
+}
+
+// isCT reports whether id refers to a compressed tier and returns it.
+func (m *Manager) ct(id TierID) (*ctTier, bool) {
+	i := int(id) - len(m.ba)
+	if i < 0 || i >= len(m.cts) {
+		return nil, false
+	}
+	return m.cts[i], true
+}
+
+// content regenerates page p's current bytes into the manager's scratch
+// buffer (valid until the next call).
+func (m *Manager) content(p PageID) []byte {
+	if cap(m.scratch) < PageSize {
+		m.scratch = make([]byte, PageSize)
+	}
+	buf := m.scratch[:PageSize]
+	e := &m.ptes[p]
+	// Mix the version into the generator index so writes change content
+	// while keeping the page's compressibility profile.
+	m.gen.Fill(uint64(p)+uint64(e.version)*uint64(m.numPages), buf)
+	return buf
+}
+
+// AccessResult reports what one access did.
+type AccessResult struct {
+	// LatencyNs is the modeled total latency of the access.
+	LatencyNs float64
+	// Tier is the tier that served the access (before any promotion).
+	Tier TierID
+	// Fault reports whether the access faulted on a compressed tier.
+	Fault bool
+	// PromotedTo is where a faulted page was placed (DRAM, or the next
+	// byte-addressable tier when DRAM is full). Valid when Fault.
+	PromotedTo TierID
+}
+
+// Access simulates one load or store to page p and returns its latency and
+// effects. Accessing a page in a compressed tier faults: the page is
+// decompressed, removed from the compressed tier, and placed in DRAM (or
+// the next byte-addressable tier with room). Writes bump the page version.
+func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
+	if p < 0 || p >= PageID(m.numPages) {
+		return AccessResult{}, ErrBadPage
+	}
+	e := &m.ptes[p]
+	if write {
+		e.version++
+	}
+	if ct, ok := m.ct(e.tier); ok {
+		// Fault path: decompress and promote.
+		_, loadNs, err := ct.tier.Load(e.handle, m.scratchReset())
+		if err != nil {
+			return AccessResult{}, fmt.Errorf("mem: fault on page %d: %w", p, err)
+		}
+		if err := ct.tier.Free(e.handle); err != nil {
+			return AccessResult{}, fmt.Errorf("mem: freeing faulted page %d: %w", p, err)
+		}
+		ct.pages--
+		dest := m.pickFaultDestination()
+		db := m.ba[dest]
+		db.pages++
+		destWrite := media.WriteCostNs(db.info.Media, PageSize)
+		served := e.tier
+		e.tier = dest
+		e.handle = ztier.Handle{}
+		m.faults++
+		return AccessResult{
+			LatencyNs:  loadNs + destWrite,
+			Tier:       served,
+			Fault:      true,
+			PromotedTo: dest,
+		}, nil
+	}
+	// Byte-addressable access.
+	b := m.ba[e.tier]
+	return AccessResult{LatencyNs: b.info.AccessNs, Tier: e.tier}, nil
+}
+
+func (m *Manager) scratchReset() []byte {
+	if cap(m.scratch) < PageSize {
+		m.scratch = make([]byte, 0, PageSize)
+	}
+	return m.scratch[:0]
+}
+
+// pickFaultDestination returns DRAM if it has room, else the first
+// byte-addressable tier with room, else DRAM regardless (unbounded model).
+func (m *Manager) pickFaultDestination() TierID {
+	for i, b := range m.ba {
+		if b.info.CapacityPages == 0 || b.pages < b.info.CapacityPages {
+			return TierID(i)
+		}
+	}
+	return DRAMTier
+}
+
+// MigrationResult reports the outcome of a migration request.
+type MigrationResult struct {
+	// Moved is the number of pages that reached the destination.
+	Moved int
+	// Rejected is the number of pages rejected as incompressible (they
+	// remain in their source tier, or move to the fallback tier if set).
+	Rejected int
+	// Skipped counts pages already in the destination tier.
+	Skipped int
+	// LatencyNs is the total modeled migration work (charged to the
+	// daemon/migration threads, not to application accesses).
+	LatencyNs float64
+}
+
+// MigratePage moves page p to tier dest. Compressed-to-compressed moves
+// take the naive decompress-recompress path (§7.1). Incompressible pages
+// stay where they are and count as rejected.
+func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
+	if p < 0 || p >= PageID(m.numPages) {
+		return MigrationResult{}, ErrBadPage
+	}
+	if int(dest) < 0 || int(dest) >= len(m.tiers) {
+		return MigrationResult{}, ErrNoSuchTier
+	}
+	e := &m.ptes[p]
+	if e.tier == dest {
+		return MigrationResult{Skipped: 1}, nil
+	}
+
+	var res MigrationResult
+
+	// Same-codec fast path (§7.1): between two compressed tiers using the
+	// same compression algorithm, move the compressed object directly —
+	// no decompression, no recompression.
+	if srcCT, ok := m.ct(e.tier); ok {
+		if dstCT, ok2 := m.ct(dest); ok2 &&
+			srcCT.tier.Config().Codec == dstCT.tier.Config().Codec {
+			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, m.scratchReset())
+			if err != nil {
+				return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
+			}
+			if direct {
+				h, storeNs, err := dstCT.tier.StoreCompressed(comp)
+				if err == nil {
+					if err := srcCT.tier.Free(e.handle); err != nil {
+						return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
+					}
+					srcCT.pages--
+					dstCT.pages++
+					e.tier = dest
+					e.handle = h
+					res.Moved = 1
+					res.LatencyNs = readNs + storeNs
+					m.migrations++
+					m.migratedIn[dest]++
+					return res, nil
+				}
+				// Destination full or rejected: fall through to the
+				// generic path, which handles fallback placement.
+			}
+		}
+	}
+
+	// 1. Extract the page from its source tier (content + read latency).
+	var pageBytes []byte
+	if ct, ok := m.ct(e.tier); ok {
+		out, loadNs, err := ct.tier.Load(e.handle, m.scratchReset())
+		if err != nil {
+			return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
+		}
+		if err := ct.tier.Free(e.handle); err != nil {
+			return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
+		}
+		ct.pages--
+		res.LatencyNs += loadNs
+		pageBytes = out
+		e.handle = ztier.Handle{}
+	} else {
+		src := m.ba[e.tier]
+		res.LatencyNs += media.ReadCostNs(src.info.Media, PageSize)
+		src.pages--
+		pageBytes = m.content(p)
+	}
+
+	// 2. Insert into the destination tier.
+	if ct, ok := m.ct(dest); ok {
+		h, storeNs, err := ct.tier.Store(pageBytes)
+		res.LatencyNs += storeNs
+		if err != nil {
+			// Rejected (incompressible, or the tier hit its pool limit):
+			// fall back to the source tier if byte-addressable, else to
+			// the fault destination.
+			fb := e.tier
+			if _, wasCT := m.ct(fb); wasCT {
+				fb = m.pickFaultDestination()
+			}
+			b := m.ba[fb]
+			b.pages++
+			e.tier = fb
+			if !errors.Is(err, ztier.ErrTierFull) {
+				m.rejects++
+			}
+			res.Rejected = 1
+			return res, nil
+		}
+		ct.pages++
+		e.tier = dest
+		e.handle = h
+	} else {
+		db := m.ba[dest]
+		if db.info.CapacityPages != 0 && db.pages >= db.info.CapacityPages {
+			// No room: restore source residency.
+			if _, wasCT := m.ct(e.tier); !wasCT {
+				m.ba[e.tier].pages++
+			} else {
+				// Page was already extracted from a compressed tier; place
+				// it at the fault destination instead of losing it.
+				fb := m.pickFaultDestination()
+				m.ba[fb].pages++
+				e.tier = fb
+			}
+			return res, ErrTierFull
+		}
+		res.LatencyNs += media.WriteCostNs(db.info.Media, PageSize)
+		db.pages++
+		e.tier = dest
+	}
+	res.Moved = 1
+	m.migrations++
+	m.migratedIn[dest]++
+	return res, nil
+}
+
+// MigrateRegion moves every page of region r to tier dest, accumulating
+// the per-page results. TS-Daemon migrates at this 2 MB granularity (§7.2).
+func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error) {
+	var total MigrationResult
+	start := PageID(r) * RegionPages
+	end := start + RegionPages
+	if end > PageID(m.numPages) {
+		end = PageID(m.numPages)
+	}
+	if start < 0 || start >= PageID(m.numPages) {
+		return total, ErrBadPage
+	}
+	for p := start; p < end; p++ {
+		res, err := m.MigratePage(p, dest)
+		total.Moved += res.Moved
+		total.Rejected += res.Rejected
+		total.Skipped += res.Skipped
+		total.LatencyNs += res.LatencyNs
+		if err != nil && !errors.Is(err, ErrTierFull) {
+			return total, err
+		}
+		if errors.Is(err, ErrTierFull) {
+			// Destination filled mid-region: stop moving the rest.
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TierPages returns the number of resident pages per tier, indexed by
+// TierID. For compressed tiers this counts stored (logical) pages.
+func (m *Manager) TierPages() []int64 {
+	out := make([]int64, len(m.tiers))
+	for i, b := range m.ba {
+		out[i] = b.pages
+	}
+	for i, c := range m.cts {
+		out[len(m.ba)+i] = c.pages
+	}
+	return out
+}
+
+// TierFootprintBytes returns each tier's physical footprint in bytes:
+// resident pages × 4 KB for byte-addressable tiers, pool pages × 4 KB for
+// compressed tiers.
+func (m *Manager) TierFootprintBytes() []int64 {
+	out := make([]int64, len(m.tiers))
+	for i, b := range m.ba {
+		out[i] = b.pages * PageSize
+	}
+	for i, c := range m.cts {
+		out[len(m.ba)+i] = c.tier.Stats().PoolBytes()
+	}
+	return out
+}
+
+// CompressedTierStats returns the ztier stats for compressed tier id.
+func (m *Manager) CompressedTierStats(id TierID) (ztier.Stats, error) {
+	ct, ok := m.ct(id)
+	if !ok {
+		return ztier.Stats{}, ErrNoSuchTier
+	}
+	return ct.tier.Stats(), nil
+}
+
+// MeasuredRatio returns compressed tier id's observed compression ratio
+// (compressed bytes / logical bytes), or fallback if the tier is empty.
+func (m *Manager) MeasuredRatio(id TierID, fallback float64) float64 {
+	ct, ok := m.ct(id)
+	if !ok {
+		return fallback
+	}
+	s := ct.tier.Stats()
+	if s.Pages == 0 {
+		return fallback
+	}
+	return float64(s.PoolBytes()) / (float64(s.Pages) * PageSize)
+}
+
+// SampleRegionRatio estimates region r's compressibility under the named
+// codec by compressing up to samples evenly-spaced pages of the region —
+// the daemon-side compressibility probe behind compressibility-aware
+// placement (§9's future-work direction ii). The result is clamped to 1
+// (incompressible pages are rejected by tiers, so the effective per-page
+// cost never exceeds an uncompressed page).
+func (m *Manager) SampleRegionRatio(r RegionID, codecName string, samples int) (float64, error) {
+	codec, err := compress.Lookup(codecName)
+	if err != nil {
+		return 0, err
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	start := PageID(r) * RegionPages
+	end := start + RegionPages
+	if end > PageID(m.numPages) {
+		end = PageID(m.numPages)
+	}
+	if start >= PageID(m.numPages) {
+		return 0, ErrBadPage
+	}
+	n := int64(end - start)
+	stride := n / int64(samples)
+	if stride < 1 {
+		stride = 1
+	}
+	var orig, comp int64
+	var buf []byte
+	for p := start; p < end; p += PageID(stride) {
+		data := m.content(p)
+		buf = codec.Compress(buf[:0], data)
+		orig += int64(len(data))
+		size := int64(len(buf))
+		if size > int64(len(data)) {
+			size = int64(len(data)) // rejected: stays uncompressed
+		}
+		comp += size
+	}
+	if orig == 0 {
+		return 1, nil
+	}
+	return float64(comp) / float64(orig), nil
+}
+
+// CompactAll compacts every compressed tier's pool (the kernel's
+// zs_compact pass TS-Daemon triggers between windows) and returns the
+// total pool pages reclaimed and the modeled daemon cost.
+func (m *Manager) CompactAll() (int, float64) {
+	total := 0
+	var ns float64
+	for _, c := range m.cts {
+		n, lat := c.tier.Compact()
+		total += n
+		ns += lat
+	}
+	return total, ns
+}
+
+// Counters reports manager-wide counters.
+type Counters struct {
+	Faults     int64
+	Migrations int64
+	Rejects    int64
+}
+
+// Counters returns global counters.
+func (m *Manager) Counters() Counters {
+	return Counters{Faults: m.faults, Migrations: m.migrations, Rejects: m.rejects}
+}
+
+// RegionResidency returns, for region r, the number of its pages in each
+// tier (indexed by TierID).
+func (m *Manager) RegionResidency(r RegionID) []int64 {
+	out := make([]int64, len(m.tiers))
+	start := PageID(r) * RegionPages
+	end := start + RegionPages
+	if end > PageID(m.numPages) {
+		end = PageID(m.numPages)
+	}
+	for p := start; p < end; p++ {
+		out[m.ptes[p].tier]++
+	}
+	return out
+}
+
+// DominantTier returns the tier holding the most pages of region r.
+func (m *Manager) DominantTier(r RegionID) TierID {
+	res := m.RegionResidency(r)
+	best := 0
+	for i, v := range res {
+		if v > res[best] {
+			best = i
+		}
+	}
+	return TierID(best)
+}

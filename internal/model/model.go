@@ -1,0 +1,305 @@
+// Package model implements TierScape's data placement models (§6):
+//
+//   - Waterfall — threshold tiering with gradual aging: cold regions
+//     demote one tier per profile window ("waterfalling" toward the best
+//     TCO tier); hot regions promote straight to DRAM (§6.1, Figure 3).
+//   - Analytical — the ILP model of §6.2–6.6: minimize performance
+//     overhead subject to a TCO budget chosen by the knob α, solved per
+//     window over the observed hotness profile (internal/ilp).
+//   - TwoTier — the baseline family: HeMem* (slow tier = NVMM), GSwap*
+//     (slow tier = CT-1) and TMO* (slow tier = CT-2), all percentile-
+//     threshold based (§8.1).
+//
+// A model consumes the window's hotness profile and the manager's tier
+// inventory and emits a destination tier per region. The policy filter
+// (internal/policy) post-processes recommendations before migration,
+// keeping migration-cost concerns out of the models themselves (§6.7).
+package model
+
+import (
+	"fmt"
+
+	"tierscape/internal/ilp"
+	"tierscape/internal/mem"
+	"tierscape/internal/tco"
+	"tierscape/internal/telemetry"
+	"tierscape/internal/ztier"
+)
+
+// Recommendation is a model's output for one profile window.
+type Recommendation struct {
+	// Dest maps each region to its recommended tier.
+	Dest []mem.TierID
+	// SolverNs is the modeled cost of computing the recommendation
+	// (ILP solve time for the analytical model; ~0 for threshold models).
+	SolverNs float64
+}
+
+// Model recommends per-region tier placement at each window boundary.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Recommend computes destinations for every region given the profile.
+	Recommend(m *mem.Manager, prof telemetry.Profile) Recommendation
+}
+
+// Keep returns a recommendation that leaves every region where it is —
+// useful as a baseline and for filters.
+func Keep(m *mem.Manager) Recommendation {
+	n := m.NumRegions()
+	dest := make([]mem.TierID, n)
+	for r := mem.RegionID(0); int64(r) < n; r++ {
+		dest[r] = m.DominantTier(r)
+	}
+	return Recommendation{Dest: dest}
+}
+
+// TwoTier is the percentile-threshold baseline: regions hotter than the
+// Pct-th percentile go to DRAM, everything else to SlowTier. With
+// SlowTier=NVMM this is HeMem*; with a CT-1-like compressed tier GSwap*;
+// with a CT-2-like tier TMO* (§8.1).
+type TwoTier struct {
+	// ModelName is the reported name (e.g. "HeMem*").
+	ModelName string
+	// SlowTier is where non-hot regions are pushed.
+	SlowTier mem.TierID
+	// Pct is the hotness percentile threshold (the paper uses 25 for the
+	// baselines; higher is more aggressive).
+	Pct float64
+}
+
+// Name implements Model.
+func (t *TwoTier) Name() string {
+	if t.ModelName != "" {
+		return t.ModelName
+	}
+	return fmt.Sprintf("TwoTier(P%.0f,T%d)", t.Pct, t.SlowTier)
+}
+
+// Recommend implements Model.
+func (t *TwoTier) Recommend(m *mem.Manager, prof telemetry.Profile) Recommendation {
+	thr := prof.Threshold(t.Pct)
+	n := m.NumRegions()
+	dest := make([]mem.TierID, n)
+	for r := int64(0); r < n; r++ {
+		if prof.Hotness[r] > thr {
+			dest[r] = mem.DRAMTier
+		} else {
+			dest[r] = t.SlowTier
+		}
+	}
+	return Recommendation{Dest: dest}
+}
+
+// Waterfall is §6.1's model. Tiers are ordered by TierID (the manager
+// constructs them low-to-high latency); a non-hot region in tier k demotes
+// to tier k+1, the last tier holds, and hot regions promote to DRAM.
+type Waterfall struct {
+	// Pct is the hotness percentile threshold (H_th analogue).
+	Pct float64
+}
+
+// Name implements Model.
+func (w *Waterfall) Name() string { return "Waterfall" }
+
+// Recommend implements Model.
+func (w *Waterfall) Recommend(m *mem.Manager, prof telemetry.Profile) Recommendation {
+	thr := prof.Threshold(w.Pct)
+	tiers := m.Tiers()
+	last := mem.TierID(len(tiers) - 1)
+	n := m.NumRegions()
+	dest := make([]mem.TierID, n)
+	for r := int64(0); r < n; r++ {
+		cur := m.DominantTier(mem.RegionID(r))
+		switch {
+		case prof.Hotness[r] > thr:
+			// Hot pages always return to DRAM and restart their journey.
+			dest[r] = mem.DRAMTier
+		case cur < last:
+			dest[r] = cur + 1
+		default:
+			dest[r] = last
+		}
+	}
+	return Recommendation{Dest: dest}
+}
+
+// SolverKind selects the analytical model's ILP solver.
+type SolverKind int
+
+// Solver kinds.
+const (
+	// SolverGreedy is the convex-hull greedy (production default).
+	SolverGreedy SolverKind = iota
+	// SolverExact is branch-and-bound to proven optimality.
+	SolverExact
+)
+
+// Analytical is §6.2's model: an MCKP per window.
+type Analytical struct {
+	// Alpha is the TCO/performance knob in [0,1] (§6.3): 1 = maximum
+	// performance (no TCO pressure), 0 = maximum TCO savings.
+	Alpha float64
+	// Solver selects greedy (default) or exact solving.
+	Solver SolverKind
+	// Remote adds a network round trip to the solver tax, modeling the
+	// remote-solver deployment of Figure 14.
+	Remote bool
+	// ModelName overrides the reported name (e.g. "AM-TCO", "AM-perf").
+	ModelName string
+	// CompressibilityAware enables per-region compressibility probing
+	// (§9's future-work direction ii): instead of one measured ratio per
+	// tier, the model samples each region's actual compressibility under
+	// each tier's codec, so incompressible regions are routed to
+	// byte-addressable tiers and highly-compressible ones to dense tiers.
+	// Probes are cached; their compression cost is charged to SolverNs.
+	// The probe cache makes an aware Analytical stateful: do not share one
+	// instance across concurrent simulations (blind instances are
+	// stateless and safe to share).
+	CompressibilityAware bool
+	// ProbePages is how many pages per region a probe compresses (default 2).
+	ProbePages int
+
+	ratioCache map[ratioKey]float64
+}
+
+type ratioKey struct {
+	region mem.RegionID
+	codec  string
+}
+
+// regionRatio returns the probed (and cached) compressibility of region r
+// under codec, plus the modeled probe cost for cache misses.
+func (a *Analytical) regionRatio(m *mem.Manager, r mem.RegionID, codec string) (float64, float64) {
+	if a.ratioCache == nil {
+		a.ratioCache = make(map[ratioKey]float64)
+	}
+	k := ratioKey{r, codec}
+	if v, ok := a.ratioCache[k]; ok {
+		return v, 0
+	}
+	probes := a.ProbePages
+	if probes <= 0 {
+		probes = 2
+	}
+	ratio, err := m.SampleRegionRatio(r, codec, probes)
+	if err != nil {
+		ratio = tco.DefaultRatio
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	a.ratioCache[k] = ratio
+	return ratio, float64(probes) * ztier.CompressNs(codec, mem.PageSize)
+}
+
+// RemoteRTTNs is the modeled round trip to a remote solver (Figure 14's
+// local-vs-remote comparison; the paper finds the difference negligible).
+const RemoteRTTNs = 200_000
+
+// Name implements Model.
+func (a *Analytical) Name() string {
+	if a.ModelName != "" {
+		return a.ModelName
+	}
+	return fmt.Sprintf("AM(α=%.2f)", a.Alpha)
+}
+
+// Recommend implements Model. Costs follow Eq. 7 — each estimated access
+// to a region placed in byte-addressable tier x costs δ_x = Lat_x −
+// Lat_DRAM, and in compressed tier y costs Lat_CTy — and weights follow
+// Eq. 10 with measured per-tier compression ratios.
+func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommendation {
+	tiers := m.Tiers()
+	ratios := tco.MeasuredRatios(m)
+	dramLat := tiers[mem.DRAMTier].AccessNs
+
+	nRegions := m.NumRegions()
+
+	var probeNs float64
+	classes := make([][]ilp.Option, nRegions)
+	for r := int64(0); r < nRegions; r++ {
+		// The final region may be partial; weight it by its actual pages.
+		pages := int64(mem.RegionPages)
+		if rem := m.NumPages() - r*mem.RegionPages; rem < pages {
+			pages = rem
+		}
+		regionGB := float64(pages) * mem.PageSize / (1 << 30)
+		acc := prof.EstimatedAccesses(mem.RegionID(r))
+		opts := make([]ilp.Option, len(tiers))
+		for j, t := range tiers {
+			var penalty float64
+			unit := t.CostPerGB
+			if t.Compressed {
+				penalty = t.AccessNs // Lat_CT (Eq. 7, second term)
+				if a.CompressibilityAware {
+					ratio, cost := a.regionRatio(m, mem.RegionID(r), t.Codec)
+					probeNs += cost
+					if ratio >= 0.97 {
+						// Effectively incompressible: the tier would reject
+						// these pages and they would bounce to a byte tier
+						// at full cost ("even if the page is cold, it is
+						// not beneficial to place it in a compressed tier
+						// if the page is not compressible" — §3.3). Price
+						// the option at DRAM cost so it is dominated.
+						unit = 1.0
+					} else {
+						unit *= ratio
+					}
+				} else {
+					unit *= ratios(t.ID)
+				}
+			} else {
+				penalty = t.AccessNs - dramLat // δ_TN (Eq. 7, first term)
+			}
+			opts[j] = ilp.Option{
+				Cost:   acc * penalty,
+				Weight: regionGB * unit,
+			}
+		}
+		classes[r] = opts
+	}
+	problem := ilp.Problem{
+		Classes: classes,
+		Budget:  tco.Budget(m, ratios, a.Alpha),
+	}
+
+	var sol ilp.Solution
+	var err error
+	if a.Solver == SolverExact {
+		sol, err = ilp.SolveExact(problem, 2_000_000)
+	} else {
+		sol, err = ilp.SolveGreedy(problem)
+	}
+	if err != nil {
+		// The problem is structurally valid by construction; an error here
+		// means no regions — keep everything in place.
+		return Keep(m)
+	}
+
+	dest := make([]mem.TierID, nRegions)
+	for r := range dest {
+		dest[r] = tiers[sol.Choice[r]].ID
+	}
+	tax := ilp.SolveTimeNs(problem) + probeNs
+	if a.Remote {
+		tax += RemoteRTTNs
+	}
+	return Recommendation{Dest: dest, SolverNs: tax}
+}
+
+// HeMem returns the HeMem* baseline: DRAM + NVMM threshold tiering.
+// slow must be the manager's NVMM tier id.
+func HeMem(slow mem.TierID, pct float64) *TwoTier {
+	return &TwoTier{ModelName: "HeMem*", SlowTier: slow, Pct: pct}
+}
+
+// GSwap returns the GSwap* baseline: DRAM + CT-1 (lzo/zsmalloc/DRAM).
+func GSwap(slow mem.TierID, pct float64) *TwoTier {
+	return &TwoTier{ModelName: "GSwap*", SlowTier: slow, Pct: pct}
+}
+
+// TMO returns the TMO* baseline: DRAM + CT-2 (zstd/zsmalloc/Optane).
+func TMO(slow mem.TierID, pct float64) *TwoTier {
+	return &TwoTier{ModelName: "TMO*", SlowTier: slow, Pct: pct}
+}

@@ -1,0 +1,158 @@
+// Package policy implements the migration filter of §6.7: a
+// pre-processing pass over a placement model's recommendation, applied
+// before any page moves, that
+//
+//   - drops no-op moves (region already dominant in the destination),
+//   - bounds the number of regions placed into each tier by the tier's
+//     capacity,
+//   - avoids moving regions into "pressured" tiers — compressed tiers
+//     whose recent fault rate indicates placements are bouncing straight
+//     back (the Figure 9b/9c behaviour), and
+//   - caps total migration work per window so the daemon cannot swamp
+//     the system.
+//
+// Keeping these concerns out of the ILP keeps the solve cheap (§6.7).
+package policy
+
+import (
+	"sort"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/telemetry"
+)
+
+// Config tunes the filter.
+type Config struct {
+	// MaxMovesPerWindow caps region migrations applied per window
+	// (0 = unlimited).
+	MaxMovesPerWindow int
+	// PressureFaultRate marks a compressed tier pressured when its faults
+	// during the last window exceed this fraction of the pages it holds
+	// (0 = pressure filtering disabled). Pressured tiers accept no new
+	// placements this window.
+	PressureFaultRate float64
+	// HonorCapacity drops moves that would exceed a tier's CapacityPages.
+	HonorCapacity bool
+}
+
+// DefaultConfig returns the filter configuration used by TS-Daemon.
+func DefaultConfig() Config {
+	return Config{
+		MaxMovesPerWindow: 0,
+		PressureFaultRate: 2.0, // >2 faults per resident page per window
+		HonorCapacity:     true,
+	}
+}
+
+// Filter applies migration-cost and contention policy to recommendations.
+type Filter struct {
+	cfg        Config
+	lastFaults map[mem.TierID]int64
+}
+
+// NewFilter returns a filter with cfg.
+func NewFilter(cfg Config) *Filter {
+	return &Filter{cfg: cfg, lastFaults: make(map[mem.TierID]int64)}
+}
+
+// Plan is the filtered migration plan: the region moves to actually apply,
+// ordered hottest-last (so if the per-window cap truncates work, the
+// coldest data moves first — the cheapest pages to be wrong about).
+type Plan struct {
+	Moves []Move
+	// DroppedPressure counts moves skipped due to tier pressure.
+	DroppedPressure int
+	// DroppedCapacity counts moves skipped due to capacity bounds.
+	DroppedCapacity int
+	// DroppedBudget counts moves skipped by MaxMovesPerWindow.
+	DroppedBudget int
+}
+
+// Move is one region migration.
+type Move struct {
+	Region mem.RegionID
+	Dest   mem.TierID
+}
+
+// Apply filters rec into an executable plan. prof supplies the hotness
+// used to order moves; pass the same profile given to the model.
+func (f *Filter) Apply(m *mem.Manager, rec model.Recommendation, prof telemetry.Profile) Plan {
+	tiers := m.Tiers()
+	pages := m.TierPages()
+
+	// Identify pressured compressed tiers from last window's fault delta.
+	pressured := make(map[mem.TierID]bool)
+	if f.cfg.PressureFaultRate > 0 {
+		for _, t := range tiers {
+			if !t.Compressed {
+				continue
+			}
+			s, err := m.CompressedTierStats(t.ID)
+			if err != nil {
+				continue
+			}
+			delta := s.Faults - f.lastFaults[t.ID]
+			f.lastFaults[t.ID] = s.Faults
+			resident := pages[t.ID]
+			if resident > 0 && float64(delta) > f.cfg.PressureFaultRate*float64(resident) {
+				pressured[t.ID] = true
+			}
+		}
+	}
+
+	// Collect candidate moves: recommendation differs from current
+	// dominant tier.
+	var plan Plan
+	type cand struct {
+		mv  Move
+		hot float64
+	}
+	var cands []cand
+	for r, dest := range rec.Dest {
+		rid := mem.RegionID(r)
+		if m.DominantTier(rid) == dest {
+			continue
+		}
+		if pressured[dest] {
+			plan.DroppedPressure++
+			continue
+		}
+		hot := 0.0
+		if r < len(prof.Hotness) {
+			hot = prof.Hotness[r]
+		}
+		cands = append(cands, cand{Move{rid, dest}, hot})
+	}
+	// Coldest regions first: their placement is the most certain, and a
+	// truncated window still banks the biggest TCO win.
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].hot < cands[b].hot })
+
+	// Capacity accounting (in destination-resident pages).
+	headroom := make(map[mem.TierID]int64)
+	if f.cfg.HonorCapacity {
+		for _, t := range tiers {
+			if t.CapacityPages > 0 {
+				headroom[t.ID] = t.CapacityPages - pages[t.ID]
+			}
+		}
+	}
+
+	for _, c := range cands {
+		if f.cfg.MaxMovesPerWindow > 0 && len(plan.Moves) >= f.cfg.MaxMovesPerWindow {
+			plan.DroppedBudget++
+			continue
+		}
+		if f.cfg.HonorCapacity {
+			if h, bounded := headroom[c.mv.Dest]; bounded {
+				if h < mem.RegionPages {
+					plan.DroppedCapacity++
+					continue
+				}
+				headroom[c.mv.Dest] = h - mem.RegionPages
+			}
+		}
+		plan.Moves = append(plan.Moves, c.mv)
+	}
+	return plan
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"tierscape/internal/model"
+	"tierscape/internal/workload"
+)
+
+// TestPrefetcherReducesFaultLatency checks §3.2's premise: with a
+// prefetcher, pages the aggressive placement got wrong are pulled back in
+// bulk by the daemon instead of faulting one by one in the application's
+// critical path.
+func TestPrefetcherReducesFaultLatency(t *testing.T) {
+	runWith := func(threshold int) *Result {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		res, err := Run(Config{
+			Manager:                standardMix(t, wl),
+			Workload:               wl,
+			Model:                  &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
+			OpsPerWindow:           5000,
+			Windows:                6,
+			SampleRate:             20,
+			PrefetchFaultThreshold: threshold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := runWith(0)
+	on := runWith(8)
+
+	if on.Prefetches == 0 {
+		t.Fatal("prefetcher never fired under aggressive placement")
+	}
+	if off.Prefetches != 0 {
+		t.Fatal("prefetches counted while disabled")
+	}
+	// Prefetching moves fault work off the op critical path: tail latency
+	// must not get worse, and the number of demand faults must drop.
+	if on.Faults >= off.Faults {
+		t.Fatalf("faults with prefetcher %d >= without %d", on.Faults, off.Faults)
+	}
+	if p := on.OpLat.Percentile(99.9); p > off.OpLat.Percentile(99.9)*1.2 {
+		t.Fatalf("prefetcher made p99.9 worse: %v vs %v", p, off.OpLat.Percentile(99.9))
+	}
+}
+
+func TestPushThreadsReduceInterference(t *testing.T) {
+	runWith := func(threads int) *Result {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		res, err := Run(Config{
+			Manager:      standardMix(t, wl),
+			Workload:     wl,
+			Model:        &model.Waterfall{Pct: 50},
+			OpsPerWindow: 5000,
+			Windows:      5,
+			SampleRate:   20,
+			PushThreads:  threads,
+			Interference: 0.2, // exaggerate so the effect is measurable
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := runWith(1)
+	eight := runWith(8)
+	if eight.AppNs >= one.AppNs {
+		t.Fatalf("8 push threads should reduce app time: %v vs %v", eight.AppNs, one.AppNs)
+	}
+	// Total daemon work is the same either way.
+	if diff := eight.DaemonNs - one.DaemonNs; diff > one.DaemonNs*0.01 || diff < -one.DaemonNs*0.01 {
+		t.Fatalf("daemon work changed with threads: %v vs %v", eight.DaemonNs, one.DaemonNs)
+	}
+}

@@ -1,0 +1,313 @@
+// Package sim ties the TierScape reproduction together: it drives a
+// workload's operations through the tiered memory manager on a virtual
+// clock, runs the PEBS-style profiler, and executes the TS-Daemon control
+// loop (§7.2) at every profile-window boundary:
+//
+//	profile window ends → model recommends per-region tiers →
+//	policy filter prunes the plan → migration engine applies it.
+//
+// All latencies are modeled nanoseconds on the virtual clock; the wall
+// time of this Go process never affects results. Application time
+// accumulates op compute cost plus every memory access's modeled latency
+// (Eq. 4); daemon work (profiling tax, ILP solve, migration copies and
+// (de)compressions) is tracked separately and bleeds into application
+// time only through a configurable interference factor, mirroring the
+// paper's push-thread deployment (Figure 14).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/policy"
+	"tierscape/internal/stats"
+	"tierscape/internal/tco"
+	"tierscape/internal/telemetry"
+	"tierscape/internal/workload"
+)
+
+// Config configures one simulation run.
+type Config struct {
+	// Manager is the tiered memory system (required).
+	Manager *mem.Manager
+	// Workload drives accesses (required).
+	Workload workload.Workload
+	// Model places regions each window; nil runs without tiering (the
+	// all-DRAM baseline).
+	Model model.Model
+	// FilterConfig tunes the migration filter (zero value = defaults).
+	FilterConfig *policy.Config
+	// OpsPerWindow is the number of workload operations per profile
+	// window (the window length in virtual time follows from it).
+	OpsPerWindow int
+	// Windows is how many profile windows to run.
+	Windows int
+	// SampleRate overrides the profiler's sampling period (0 = default
+	// 1-in-5000; tests use smaller workloads and denser sampling).
+	SampleRate int
+	// Cooling overrides the profiler's cooling factor (0 = default 0.5).
+	Cooling float64
+	// Interference is the fraction of daemon work that steals application
+	// time (cache/bandwidth contention from push threads). Default 0.02.
+	Interference float64
+	// PushThreads is how many daemon threads apply migrations in parallel
+	// (the artifact's PT parameter; default 2). Migration wall-clock time
+	// divides by it; total daemon work does not.
+	PushThreads int
+	// PrefetchFaultThreshold enables the §3.2 prefetcher: when a region
+	// accumulates this many compressed-tier faults within one window, the
+	// daemon proactively decompresses the whole region back to DRAM
+	// instead of letting the application eat per-page fault latency.
+	// 0 disables prefetching (the paper's default system).
+	PrefetchFaultThreshold int
+	// AccessBitTelemetry swaps the PEBS-style sampler for GSwap's
+	// accessed-bit scanning (§10): binary touched-page hotness whose scan
+	// tax scales with memory size instead of access rate.
+	AccessBitTelemetry bool
+}
+
+// WindowRecord captures one profile window's outcome.
+type WindowRecord struct {
+	// Window is the 1-based window index.
+	Window int
+	// AppNs is application virtual time spent in this window.
+	AppNs float64
+	// DaemonNs is daemon work in this window (solver + migration).
+	DaemonNs float64
+	// SolverNs is the modeling part of DaemonNs.
+	SolverNs float64
+	// TCO is the memory TCO at window end (dollar units).
+	TCO float64
+	// TierPages is residency per tier at window end.
+	TierPages []int64
+	// RecommendedPages is the model's recommended pages per tier
+	// (region-count × RegionPages, by destination).
+	RecommendedPages []int64
+	// Faults is cumulative compressed-tier faults so far.
+	Faults int64
+	// Moves and Rejected count this window's migration outcomes.
+	Moves, Rejected int
+	// CompactedPages is how many pool pages compaction reclaimed this
+	// window.
+	CompactedPages int
+}
+
+// Result summarizes a run.
+type Result struct {
+	// WorkloadName and ModelName echo the configuration.
+	WorkloadName, ModelName string
+	// Ops is total operations executed.
+	Ops int64
+	// AppNs is total application virtual time.
+	AppNs float64
+	// DaemonNs is total daemon virtual work.
+	DaemonNs float64
+	// OpLat holds every op's latency for percentile reporting.
+	OpLat *stats.Summary
+	// Windows holds per-window records.
+	Windows []WindowRecord
+	// TCOMax is the all-DRAM TCO (Eq. TCO_max).
+	TCOMax float64
+	// AvgTCO is the time-weighted average TCO across windows.
+	AvgTCO float64
+	// FinalTCO is the TCO after the last window.
+	FinalTCO float64
+	// Faults is total compressed-tier faults.
+	Faults int64
+	// Prefetches counts regions proactively promoted by the prefetcher.
+	Prefetches int64
+}
+
+// ThroughputOpsPerSec returns ops per virtual second.
+func (r *Result) ThroughputOpsPerSec() float64 {
+	if r.AppNs == 0 {
+		return 0
+	}
+	return float64(r.Ops) / (r.AppNs / 1e9)
+}
+
+// SavingsPct returns the time-averaged TCO savings versus all-DRAM, in
+// percent.
+func (r *Result) SavingsPct() float64 {
+	if r.TCOMax == 0 {
+		return 0
+	}
+	return (r.TCOMax - r.AvgTCO) / r.TCOMax * 100
+}
+
+// SlowdownPctVs returns this run's slowdown versus a baseline run, in
+// percent (positive = slower).
+func (r *Result) SlowdownPctVs(baseline *Result) float64 {
+	if baseline.AppNs == 0 {
+		return 0
+	}
+	return (r.AppNs/baseline.AppNs - 1) * 100
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Manager == nil || cfg.Workload == nil {
+		return nil, errors.New("sim: Manager and Workload are required")
+	}
+	if cfg.OpsPerWindow <= 0 || cfg.Windows <= 0 {
+		return nil, fmt.Errorf("sim: OpsPerWindow (%d) and Windows (%d) must be positive",
+			cfg.OpsPerWindow, cfg.Windows)
+	}
+	if cfg.Workload.NumPages() > cfg.Manager.NumPages() {
+		return nil, fmt.Errorf("sim: workload needs %d pages but manager has %d",
+			cfg.Workload.NumPages(), cfg.Manager.NumPages())
+	}
+	interference := cfg.Interference
+	if interference == 0 {
+		interference = 0.02
+	}
+	pushThreads := cfg.PushThreads
+	if pushThreads <= 0 {
+		pushThreads = 2
+	}
+
+	var prof telemetry.Recorder
+	var err error
+	if cfg.AccessBitTelemetry {
+		prof, err = telemetry.NewABitScanner(cfg.Manager.NumPages(), cfg.Manager.NumRegions(), cfg.Cooling)
+	} else {
+		prof, err = telemetry.NewProfiler(telemetry.Config{
+			NumRegions: cfg.Manager.NumRegions(),
+			SampleRate: cfg.SampleRate,
+			Cooling:    cfg.Cooling,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	fcfg := policy.DefaultConfig()
+	if cfg.FilterConfig != nil {
+		fcfg = *cfg.FilterConfig
+	}
+	filter := policy.NewFilter(fcfg)
+
+	res := &Result{
+		WorkloadName: cfg.Workload.Name(),
+		ModelName:    "baseline",
+		OpLat:        stats.NewSummary(),
+		TCOMax:       tco.Max(cfg.Manager),
+	}
+	if cfg.Model != nil {
+		res.ModelName = cfg.Model.Name()
+	}
+
+	m := cfg.Manager
+	wl := cfg.Workload
+	var buf []workload.Access
+	var weightedTCO, totalAppNs float64
+	lastProfOverhead := 0.0
+
+	regionFaults := make(map[mem.RegionID]int)
+	for w := 0; w < cfg.Windows; w++ {
+		var appNs float64
+		var prefetchNs float64
+		clear(regionFaults)
+		for op := 0; op < cfg.OpsPerWindow; op++ {
+			buf = wl.NextOp(buf[:0])
+			opNs := wl.BaseOpNs()
+			for _, a := range buf {
+				prof.Record(a.Page)
+				ar, err := m.Access(a.Page, a.Write)
+				if err != nil {
+					return nil, fmt.Errorf("sim: window %d op %d: %w", w, op, err)
+				}
+				opNs += ar.LatencyNs
+				if ar.Fault && cfg.PrefetchFaultThreshold > 0 {
+					r := a.Page.Region()
+					regionFaults[r]++
+					if regionFaults[r] == cfg.PrefetchFaultThreshold {
+						// Prefetch: the daemon decompresses the rest of the
+						// region ahead of the application's accesses.
+						mr, err := m.MigrateRegion(r, mem.DRAMTier)
+						if err != nil && !errors.Is(err, mem.ErrTierFull) {
+							return nil, fmt.Errorf("sim: prefetch window %d: %w", w, err)
+						}
+						prefetchNs += mr.LatencyNs
+						res.Prefetches++
+					}
+				}
+			}
+			res.OpLat.Add(opNs)
+			appNs += opNs
+		}
+		res.Ops += int64(cfg.OpsPerWindow)
+
+		profile := prof.EndWindow()
+		rec := WindowRecord{Window: w + 1}
+
+		if cfg.Model != nil {
+			r := cfg.Model.Recommend(m, profile)
+			plan := filter.Apply(m, r, profile)
+			var migNs float64
+			for _, mv := range plan.Moves {
+				mr, err := m.MigrateRegion(mv.Region, mv.Dest)
+				migNs += mr.LatencyNs
+				rec.Moves += mr.Moved
+				rec.Rejected += mr.Rejected
+				if err != nil && !errors.Is(err, mem.ErrTierFull) {
+					return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
+				}
+			}
+			// Post-migration pool compaction (zs_compact): churned tiers
+			// return empty zspages.
+			compacted, compactNs := m.CompactAll()
+			rec.CompactedPages = compacted
+			migNs += compactNs
+
+			profDelta := prof.OverheadNs() - lastProfOverhead
+			lastProfOverhead = prof.OverheadNs()
+			rec.SolverNs = r.SolverNs
+			rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs
+			// Migration work spreads across push threads; solver and
+			// profiling are serial. Interference charges the elapsed time.
+			elapsed := r.SolverNs + profDelta + (migNs+prefetchNs)/float64(pushThreads)
+			appNs += elapsed * interference
+			rec.RecommendedPages = recommendedPages(m, r)
+		} else {
+			// Baseline still pays the (tiny) profiling tax if one imagines
+			// telemetry running; the paper's baseline has none, so charge 0.
+			lastProfOverhead = prof.OverheadNs()
+			rec.DaemonNs = prefetchNs
+			appNs += prefetchNs / float64(pushThreads) * interference
+		}
+
+		rec.AppNs = appNs
+		rec.TCO = tco.Current(m)
+		rec.TierPages = m.TierPages()
+		rec.Faults = m.Counters().Faults
+		res.Windows = append(res.Windows, rec)
+
+		res.AppNs += appNs
+		res.DaemonNs += rec.DaemonNs
+		weightedTCO += rec.TCO * appNs
+		totalAppNs += appNs
+	}
+
+	if totalAppNs > 0 {
+		res.AvgTCO = weightedTCO / totalAppNs
+	}
+	res.FinalTCO = tco.Current(m)
+	res.Faults = m.Counters().Faults
+	return res, nil
+}
+
+// recommendedPages converts a recommendation into pages-per-tier,
+// accounting for the final region possibly being partial.
+func recommendedPages(m *mem.Manager, r model.Recommendation) []int64 {
+	out := make([]int64, len(m.Tiers()))
+	for i, d := range r.Dest {
+		n := int64(mem.RegionPages)
+		if rem := m.NumPages() - int64(i)*mem.RegionPages; rem < n {
+			n = rem
+		}
+		out[d] += n
+	}
+	return out
+}

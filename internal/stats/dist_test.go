@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(NewRNG(1), 1000, 0.99, false)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With theta=0.99 the top 10% of ranks should receive a large majority
+	// of accesses.
+	z := NewZipf(NewRNG(2), 1000, 0.99, false)
+	top := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 {
+			top++
+		}
+	}
+	frac := float64(top) / n
+	if frac < 0.5 {
+		t.Fatalf("top-10%% ranks got only %.2f of accesses; want > 0.5", frac)
+	}
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	z := NewZipf(NewRNG(3), 100, 0.99, false)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestZipfShiftMovesHotspot(t *testing.T) {
+	z := NewZipf(NewRNG(4), 1000, 0.99, false)
+	z.SetShift(10000, 100)
+	// First 10k samples: hot set near 0.
+	early := make([]int, 1000)
+	for i := 0; i < 9999; i++ {
+		early[z.Next()]++
+	}
+	// Run forward several shifts.
+	for i := 0; i < 50000; i++ {
+		z.Next()
+	}
+	late := make([]int, 1000)
+	for i := 0; i < 9999; i++ {
+		late[z.Next()]++
+	}
+	if argmax(late) == argmax(early) {
+		t.Fatalf("hotspot did not move: early max at %d, late max at %d", argmax(early), argmax(late))
+	}
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestZipfScrambleSpreads(t *testing.T) {
+	z := NewZipf(NewRNG(5), 1000, 0.99, true)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// With scrambling, the most popular key should NOT be rank 0 typically,
+	// and low ranks should not dominate contiguously: check that the top-100
+	// most-accessed indices are not all < 200.
+	hot := 0
+	for i := 0; i < 200; i++ {
+		if counts[i] > 300 {
+			hot++
+		}
+	}
+	if hot > 50 {
+		t.Fatalf("scrambled zipf still clusters hot keys at low indices (%d)", hot)
+	}
+}
+
+func TestGaussianCentered(t *testing.T) {
+	g := NewGaussian(NewRNG(6), 10000, 5000, 100)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next())
+	}
+	mean := sum / n
+	if math.Abs(mean-5000) > 20 {
+		t.Fatalf("mean = %v, want ~5000", mean)
+	}
+}
+
+func TestGaussianWraps(t *testing.T) {
+	g := NewGaussian(NewRNG(7), 100, 0, 30)
+	for i := 0; i < 10000; i++ {
+		v := g.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Gaussian out of range: %d", v)
+		}
+	}
+}
+
+func TestGaussianDrift(t *testing.T) {
+	g := NewGaussian(NewRNG(8), 100000, 1000, 50)
+	g.SetDrift(1.0)
+	var first, last float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := float64(g.Next())
+		if i < 1000 {
+			first += v / 1000
+		}
+		if i >= n-1000 {
+			last += v / 1000
+		}
+	}
+	if last-first < float64(n)/2 {
+		t.Fatalf("drift too small: first ~%v last ~%v", first, last)
+	}
+}
+
+func TestUniformCovers(t *testing.T) {
+	u := NewUniform(NewRNG(9), 50)
+	seen := make([]bool, 50)
+	for i := 0; i < 10000; i++ {
+		seen[u.Next()] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d never sampled", i)
+		}
+	}
+}
+
+func TestHotColdSplit(t *testing.T) {
+	// 10% of items get 90% of accesses.
+	h := NewHotCold(NewRNG(10), 1000, 0.1, 0.9)
+	hot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if h.Next() < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestHotColdFullRange(t *testing.T) {
+	h := NewHotCold(NewRNG(11), 100, 0.2, 0.8)
+	seenCold := false
+	for i := 0; i < 10000; i++ {
+		if h.Next() >= 20 {
+			seenCold = true
+			break
+		}
+	}
+	if !seenCold {
+		t.Fatal("cold range never sampled")
+	}
+}
+
+func TestSamplersImplementInterface(t *testing.T) {
+	r := NewRNG(1)
+	for _, s := range []Sampler{
+		NewZipf(r, 10, 0.99, false),
+		NewGaussian(r, 10, 5, 1),
+		NewUniform(r, 10),
+		NewHotCold(r, 10, 0.5, 0.5),
+	} {
+		if s.N() != 10 {
+			t.Errorf("N() = %d, want 10", s.N())
+		}
+	}
+}

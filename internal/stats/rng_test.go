@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("bucket %d count %d outside [8000,12000]", i, c)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 64 buckets.
+	r := NewRNG(123)
+	const buckets, samples = 64, 640000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint32()%buckets]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 dof; mean 63, std ~11.2. Allow generous bound.
+	if chi2 > 120 {
+		t.Fatalf("chi2 = %v, too high for uniform output", chi2)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(55)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + int(seed%100)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(10)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams matched %d/100 times", same)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(77)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: sum=%d", sum)
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar observations and reports order statistics.
+// It stores all samples; for the simulator's scale (millions of latency
+// samples) this is acceptable and keeps percentiles exact, matching how
+// memtier/YCSB report p95/p99.9 latencies.
+type Summary struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary { return &Summary{} }
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return len(s.vals) }
+
+// Sum returns the sum of observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using nearest-rank,
+// or 0 if empty.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.vals[rank]
+}
+
+// Max returns the maximum observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.Percentile(100) }
+
+// Min returns the minimum observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.Percentile(0) }
+
+// Reset discards all observations.
+func (s *Summary) Reset() {
+	s.vals = s.vals[:0]
+	s.sum = 0
+	s.sorted = false
+}
+
+// Histogram counts observations into fixed-width buckets over [lo, hi).
+// Out-of-range observations land in underflow/overflow counters.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	buckets  []int64
+	under    int64
+	over     int64
+	total    int64
+	totalSum float64
+}
+
+// NewHistogram returns a histogram with n buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.totalSum += v
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / h.width)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations (including out of range).
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.totalSum / float64(h.total)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) by scanning
+// bucket boundaries; underflow counts as lo, overflow as hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	cum := h.under
+	if cum > target {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return h.lo + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.hi
+}
+
+// GeoMean returns the geometric mean of xs; it panics on non-positive input.
+// The paper reports the geometric mean of round times for graph workloads.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// PercentileOf returns the p-th percentile (nearest-rank, p in [0,100]) of
+// the given values without mutating the input slice.
+func PercentileOf(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// PercentileOfInts is PercentileOf for integer observations (e.g. per-region
+// access counts, used for the percentile-based hotness thresholds in §8.1).
+func PercentileOfInts(vals []int64, p float64) float64 {
+	fs := make([]float64, len(vals))
+	for i, v := range vals {
+		fs[i] = float64(v)
+	}
+	return PercentileOf(fs, p)
+}

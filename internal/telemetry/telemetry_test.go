@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/stats"
+)
+
+func TestSamplingRate(t *testing.T) {
+	pr, err := NewProfiler(Config{NumRegions: 4, SampleRate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		pr.Record(mem.PageID(i % (4 * mem.RegionPages)))
+	}
+	if got := pr.TotalSamples(); got != 1000 {
+		t.Fatalf("samples = %d, want 1000 (1-in-100 of 100k)", got)
+	}
+}
+
+func TestHotnessProportionalToAccesses(t *testing.T) {
+	pr, _ := NewProfiler(Config{NumRegions: 2, SampleRate: 10})
+	// Region 0 gets 9x the accesses of region 1.
+	for i := 0; i < 90000; i++ {
+		pr.Record(0)
+	}
+	for i := 0; i < 10000; i++ {
+		pr.Record(mem.PageID(mem.RegionPages))
+	}
+	p := pr.EndWindow()
+	ratio := p.Hotness[0] / p.Hotness[1]
+	if ratio < 7 || ratio > 11 {
+		t.Fatalf("hotness ratio = %v, want ~9", ratio)
+	}
+	// Estimated accesses should approximate the truth.
+	est := p.EstimatedAccesses(0)
+	if math.Abs(est-90000) > 9000 {
+		t.Fatalf("estimated accesses = %v, want ~90000", est)
+	}
+}
+
+func TestCooling(t *testing.T) {
+	pr, _ := NewProfiler(Config{NumRegions: 1, SampleRate: 1, Cooling: 0.5})
+	for i := 0; i < 100; i++ {
+		pr.Record(0)
+	}
+	p1 := pr.EndWindow()
+	if p1.Hotness[0] != 100 {
+		t.Fatalf("window 1 hotness = %v", p1.Hotness[0])
+	}
+	// No accesses in window 2: hotness must halve, not vanish.
+	p2 := pr.EndWindow()
+	if p2.Hotness[0] != 50 {
+		t.Fatalf("window 2 hotness = %v, want 50 (cooled)", p2.Hotness[0])
+	}
+	p3 := pr.EndWindow()
+	if p3.Hotness[0] != 25 {
+		t.Fatalf("window 3 hotness = %v, want 25", p3.Hotness[0])
+	}
+}
+
+func TestGradualAgingHotWarmCold(t *testing.T) {
+	// A region that stops being accessed must pass through intermediate
+	// hotness (warm) before becoming cold — §3.1's aging behaviour.
+	pr, _ := NewProfiler(Config{NumRegions: 2, SampleRate: 1, Cooling: 0.5})
+	for i := 0; i < 1000; i++ {
+		pr.Record(0)
+		pr.Record(mem.PageID(mem.RegionPages))
+	}
+	first := pr.EndWindow()
+	// Region 1 goes idle; region 0 stays hot.
+	var mid, last Profile
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 1000; i++ {
+			pr.Record(0)
+		}
+		if w == 0 {
+			mid = pr.EndWindow()
+		} else {
+			last = pr.EndWindow()
+		}
+	}
+	if !(last.Hotness[1] < mid.Hotness[1] && mid.Hotness[1] < first.Hotness[1]) {
+		t.Fatalf("aging not gradual: %v -> %v -> %v", first.Hotness[1], mid.Hotness[1], last.Hotness[1])
+	}
+	if last.Hotness[1] <= 0 {
+		t.Fatal("hotness should decay asymptotically, not hit zero in 3 windows")
+	}
+}
+
+func TestWindowResets(t *testing.T) {
+	pr, _ := NewProfiler(Config{NumRegions: 1, SampleRate: 1})
+	pr.Record(0)
+	p1 := pr.EndWindow()
+	if p1.WindowSamples[0] != 1 || p1.WindowAccesses != 1 {
+		t.Fatalf("window 1: %+v", p1)
+	}
+	p2 := pr.EndWindow()
+	if p2.WindowSamples[0] != 0 || p2.WindowAccesses != 0 {
+		t.Fatalf("window 2 not reset: %+v", p2)
+	}
+	if pr.Windows() != 2 {
+		t.Fatalf("Windows = %d", pr.Windows())
+	}
+}
+
+func TestThresholdPercentile(t *testing.T) {
+	pr, _ := NewProfiler(Config{NumRegions: 4, SampleRate: 1})
+	// Hotness: region i gets (i+1)*10 samples.
+	for r := 0; r < 4; r++ {
+		for i := 0; i < (r+1)*10; i++ {
+			pr.Record(mem.PageID(r * mem.RegionPages))
+		}
+	}
+	p := pr.EndWindow()
+	thr := p.Threshold(25)
+	if thr != 10 {
+		t.Fatalf("P25 threshold = %v, want 10", thr)
+	}
+	hot := p.HotRegions(thr)
+	cold := p.ColdRegions(thr)
+	if len(hot) != 3 || len(cold) != 1 {
+		t.Fatalf("hot=%d cold=%d, want 3,1", len(hot), len(cold))
+	}
+	if cold[0] != 0 {
+		t.Fatalf("cold region = %d, want 0", cold[0])
+	}
+}
+
+func TestOverheadGrowsWithSamples(t *testing.T) {
+	pr, _ := NewProfiler(Config{NumRegions: 8, SampleRate: 10})
+	base := pr.OverheadNs()
+	for i := 0; i < 10000; i++ {
+		pr.Record(0)
+	}
+	pr.EndWindow()
+	if pr.OverheadNs() <= base {
+		t.Fatal("overhead should grow with samples and windows")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewProfiler(Config{NumRegions: 0}); err == nil {
+		t.Error("zero regions should fail")
+	}
+	if _, err := NewProfiler(Config{NumRegions: 1, Cooling: 1.5}); err == nil {
+		t.Error("cooling >= 1 should fail")
+	}
+	pr, err := NewProfiler(Config{NumRegions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.cfg.SampleRate != DefaultSampleRate || pr.cfg.Cooling != DefaultCooling {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestZipfWorkloadSkewDetected(t *testing.T) {
+	// End-to-end sanity: a zipfian stream over 16 regions must yield a
+	// strongly skewed hotness profile.
+	pr, _ := NewProfiler(Config{NumRegions: 16, SampleRate: 50})
+	z := stats.NewZipf(stats.NewRNG(1), 16*mem.RegionPages, 0.99, false)
+	for i := 0; i < 500000; i++ {
+		pr.Record(mem.PageID(z.Next()))
+	}
+	p := pr.EndWindow()
+	if !(p.Hotness[0] > 4*p.Hotness[8]) {
+		t.Fatalf("zipf skew not captured: region0=%v region8=%v", p.Hotness[0], p.Hotness[8])
+	}
+}

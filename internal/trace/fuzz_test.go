@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"tierscape/internal/workload"
+)
+
+// FuzzReaderRobust feeds arbitrary bytes to the trace reader: it must
+// never panic, and any ops it produces must terminate.
+func FuzzReaderRobust(f *testing.F) {
+	// Seed with a real trace and some garbage.
+	var buf bytes.Buffer
+	if _, err := Record(&buf, workload.DefaultMasim(16, 50, 1), 20); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TSTR\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\x00garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		var b []workload.Access
+		for i := 0; i < 100; i++ {
+			b = tr.NextOp(b[:0])
+			if len(b) == 0 && tr.Replays() == 0 {
+				break // exhausted
+			}
+			if tr.Replays() > 2 {
+				break
+			}
+		}
+	})
+}

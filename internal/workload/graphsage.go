@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"tierscape/internal/corpus"
+	"tierscape/internal/mem"
+	"tierscape/internal/stats"
+)
+
+// GraphSAGE simulates minibatch GNN training (Hamilton et al.) on an
+// ogbn-products-scale graph: the dominant memory object is the node
+// feature matrix; each op samples a seed vertex and a two-hop sampled
+// neighborhood (fanouts 10 and 5, GraphSAGE's defaults scaled down),
+// gathers their feature rows, and writes the seed's embedding row.
+//
+// Feature-gather locality follows the graph: hub-adjacent rows are touched
+// constantly (hot), the long tail rarely (cold) — the inductive-learning
+// pattern the paper evaluates.
+type GraphSAGE struct {
+	g         *Graph
+	rng       *stats.RNG
+	featBytes int64
+	featPage0 mem.PageID
+	featPages int64
+	embPage0  mem.PageID
+	embPages  int64
+	batches   int64
+	fanout1   int
+	fanout2   int
+}
+
+// NewGraphSAGE sizes the workload to roughly scalePages: features get
+// ~90% of the budget (ogbn-products: 100 floats/node).
+func NewGraphSAGE(scalePages int64, seed uint64) *GraphSAGE {
+	s := &GraphSAGE{rng: stats.NewRNG(seed ^ 0x5a6e), featBytes: 400, fanout1: 10, fanout2: 5}
+	budget := scalePages * mem.PageSize
+	n := budget * 9 / 10 / s.featBytes
+	if n < 1024 {
+		n = 1024
+	}
+	s.g = NewRMat(n, 8, seed)
+	n = s.g.N() // rounded to power of two
+	s.featPage0 = mem.PageID(s.g.NumPages())
+	s.featPages = pagesFor(n * s.featBytes)
+	s.embPage0 = s.featPage0 + mem.PageID(s.featPages)
+	s.embPages = pagesFor(n * 64) // 16-float embeddings
+	return s
+}
+
+// Name implements Workload.
+func (*GraphSAGE) Name() string { return "GraphSAGE" }
+
+// NumPages implements Workload.
+func (s *GraphSAGE) NumPages() int64 {
+	return s.g.NumPages() + s.featPages + s.embPages
+}
+
+// Content implements Workload: float feature matrices.
+func (*GraphSAGE) Content() corpus.Profile { return corpus.Binary }
+
+// BaseOpNs implements Workload: aggregation GEMV arithmetic dominates.
+func (*GraphSAGE) BaseOpNs() float64 { return 15000 }
+
+// Batches returns completed minibatch steps.
+func (s *GraphSAGE) Batches() int64 { return s.batches }
+
+func (s *GraphSAGE) featurePage(v int64) mem.PageID {
+	return s.featPage0 + mem.PageID(v*s.featBytes/mem.PageSize)
+}
+
+// sampleNeighbors appends up to k sampled neighbors of v.
+func (s *GraphSAGE) sampleNeighbors(v int64, k int, out []int64) []int64 {
+	deg := s.g.Degree(v)
+	if deg == 0 {
+		return out
+	}
+	for i := 0; i < k; i++ {
+		j := s.g.offsets[v] + s.rng.Int63n(deg)
+		out = append(out, int64(s.g.edges[j]))
+	}
+	return out
+}
+
+// NextOp implements Workload: one seed's two-hop sampled aggregation.
+func (s *GraphSAGE) NextOp(buf []Access) []Access {
+	s.batches++
+	seed := s.rng.Int63n(s.g.N())
+	// Hop 1 sampling reads the seed's adjacency.
+	buf = append(buf, Access{Page: s.g.offsetPage(seed)})
+	if deg := s.g.Degree(seed); deg > 0 {
+		buf = append(buf, Access{Page: s.g.edgePage(s.g.offsets[seed])})
+	}
+	hop1 := s.sampleNeighbors(seed, s.fanout1, nil)
+	var hop2 []int64
+	for _, v := range hop1 {
+		buf = append(buf, Access{Page: s.g.offsetPage(v)})
+		hop2 = s.sampleNeighbors(v, s.fanout2, hop2)
+	}
+	// Gather features: seed + hop1 + hop2.
+	buf = append(buf, Access{Page: s.featurePage(seed)})
+	for _, v := range hop1 {
+		buf = append(buf, Access{Page: s.featurePage(v)})
+	}
+	for _, v := range hop2 {
+		buf = append(buf, Access{Page: s.featurePage(v)})
+	}
+	// Write the seed's embedding.
+	buf = append(buf, Access{Page: s.embPage0 + mem.PageID(seed*64/mem.PageSize), Write: true})
+	return buf
+}

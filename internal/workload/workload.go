@@ -1,0 +1,51 @@
+// Package workload implements access-pattern-faithful simulators of the
+// paper's six evaluation workloads (Table 2):
+//
+//   - Memcached — in-memory object cache; driven by YCSB (zipfian,
+//     "workloadc") or memtier (Gaussian) request generators.
+//   - Redis — in-memory key-value store (YCSB-driven, larger footprint).
+//   - BFS / PageRank — Ligra-style graph kernels over rMat graphs.
+//   - XSBench — Monte Carlo neutron transport macroscopic cross-section
+//     lookup kernel.
+//   - GraphSAGE — inductive GNN minibatch sampling over a large graph's
+//     feature matrix.
+//
+// What a tiering system observes from a workload is (a) its stream of
+// page accesses and (b) its page contents; a workload here produces both:
+// operations decompose into page accesses against a simulated address
+// space, and each workload declares the corpus profile that generates its
+// page bytes.
+package workload
+
+import (
+	"tierscape/internal/corpus"
+	"tierscape/internal/mem"
+)
+
+// Access is one page touch.
+type Access struct {
+	Page  mem.PageID
+	Write bool
+}
+
+// Workload drives the simulator with operations, each decomposing into a
+// handful of page accesses (an op is the unit client latency is measured
+// at — one GET, one vertex relaxation, one cross-section lookup...).
+type Workload interface {
+	// Name identifies the workload in experiment output.
+	Name() string
+	// NumPages is the workload's resident set size in pages.
+	NumPages() int64
+	// Content is the corpus profile for this workload's page bytes.
+	Content() corpus.Profile
+	// BaseOpNs is the op's compute cost outside the memory system
+	// (hashing, protocol parsing, arithmetic) charged per op.
+	BaseOpNs() float64
+	// NextOp appends the next operation's accesses to buf and returns it.
+	NextOp(buf []Access) []Access
+}
+
+// pagesFor returns how many pages hold n bytes.
+func pagesFor(n int64) int64 {
+	return (n + mem.PageSize - 1) / mem.PageSize
+}

@@ -1,0 +1,369 @@
+// Package ztier composes compression codecs (internal/compress), pool
+// managers (internal/zpool) and backing media (internal/media) into
+// compressed memory tiers — the paper's core building block. It also
+// defines the characterization tier set C1…C12 (§5, Figure 2) and the
+// production tiers CT-1 (GSwap: lzo/zsmalloc/DRAM) and CT-2 (TMO:
+// zstd/zsmalloc/Optane).
+//
+// A tier accepts 4 KB pages, compresses them, stores the compressed object
+// in its pool, and reports modeled latencies for every operation. Pages
+// whose compressed form would not fit a pool page are rejected
+// (ErrIncompressible), mirroring zswap's rejection of incompressible data.
+package ztier
+
+import (
+	"errors"
+	"fmt"
+
+	"tierscape/internal/compress"
+	"tierscape/internal/media"
+	"tierscape/internal/zpool"
+)
+
+// PageSize is the page granularity tiers operate on.
+const PageSize = zpool.PageSize
+
+// ErrIncompressible is returned by Store when a page does not compress
+// well enough to be worth storing (zswap rejects such pages; footnote 1 of
+// the paper notes the compression ratio therefore cannot exceed 1).
+var ErrIncompressible = errors.New("ztier: page rejected as incompressible")
+
+// ErrTierFull is returned by Store when the tier has a pool-page limit
+// (zswap's max_pool_percent analogue) and storing would exceed it.
+var ErrTierFull = errors.New("ztier: tier pool is full")
+
+// Config selects the three components of a compressed tier.
+type Config struct {
+	// Codec is the compression algorithm name (see compress.Names).
+	Codec string
+	// Pool is the pool manager name (see zpool.Managers).
+	Pool string
+	// Media is the backing medium for pool pages.
+	Media media.Kind
+}
+
+// String encodes the config in the paper's Figure 2 notation, e.g.
+// "ZB-L4-DR" for zbud/lz4/DRAM.
+func (c Config) String() string {
+	return fmt.Sprintf("%s-%s-%s", poolCode(c.Pool), codecCode(c.Codec), c.Media)
+}
+
+func poolCode(p string) string {
+	switch p {
+	case "zsmalloc":
+		return "ZS"
+	case "zbud":
+		return "ZB"
+	case "z3fold":
+		return "Z3"
+	default:
+		return p
+	}
+}
+
+func codecCode(c string) string {
+	switch c {
+	case "lz4":
+		return "L4"
+	case "lz4hc":
+		return "HC"
+	case "lzo":
+		return "LO"
+	case "lzo-rle":
+		return "LR"
+	case "deflate":
+		return "DE"
+	case "zstd":
+		return "ZS"
+	case "842":
+		return "84"
+	default:
+		return c
+	}
+}
+
+// Handle identifies a page stored in a tier.
+type Handle struct {
+	pool zpool.Handle
+	size int // compressed size
+	// sameFilled marks a page of one repeated byte stored without any
+	// pool allocation (zswap's same-filled-page optimization); fillByte
+	// is the repeated value.
+	sameFilled bool
+	fillByte   byte
+}
+
+// CompressedSize returns the stored object's compressed size in bytes
+// (0 for same-filled pages, which occupy no pool space).
+func (h Handle) CompressedSize() int {
+	if h.sameFilled {
+		return 0
+	}
+	return h.size
+}
+
+// SameFilled reports whether the page was stored via the same-filled-page
+// path.
+func (h Handle) SameFilled() bool { return h.sameFilled }
+
+// Stats aggregates a tier's counters.
+type Stats struct {
+	// Pages is the number of (uncompressed-page) objects stored.
+	Pages int
+	// CompressedBytes is the total compressed payload.
+	CompressedBytes int64
+	// PoolPages is the tier's physical footprint in pool pages.
+	PoolPages int
+	// Faults counts loads (decompressions) served by the tier.
+	Faults int64
+	// Stores counts pages compressed into the tier.
+	Stores int64
+	// Rejects counts pages rejected as incompressible.
+	Rejects int64
+	// SameFilled counts live pages stored via the same-filled-page
+	// optimization (zero pool footprint).
+	SameFilled int64
+	// FullRejects counts stores rejected because the pool hit its limit.
+	FullRejects int64
+}
+
+// PoolBytes returns the tier's physical footprint in bytes.
+func (s Stats) PoolBytes() int64 { return int64(s.PoolPages) * PageSize }
+
+// Tier is one compressed memory tier.
+type Tier struct {
+	cfg   Config
+	id    int
+	codec compress.Codec
+	pool  zpool.Pool
+
+	faults      int64
+	stores      int64
+	rejects     int64
+	sameFilled  int64
+	fullRejects int64
+
+	// maxPoolPages bounds the pool footprint (0 = unbounded), like
+	// zswap's max_pool_percent.
+	maxPoolPages int
+
+	scratch []byte
+}
+
+// SetMaxPoolPages bounds the tier's physical footprint; stores that would
+// exceed it fail with ErrTierFull. Zero removes the bound.
+func (t *Tier) SetMaxPoolPages(n int) { t.maxPoolPages = n }
+
+// MaxPoolPages returns the configured footprint bound (0 = unbounded).
+func (t *Tier) MaxPoolPages() int { return t.maxPoolPages }
+
+// sameFilledByte reports whether data consists of one repeated byte.
+func sameFilledByte(data []byte) (byte, bool) {
+	if len(data) == 0 {
+		return 0, false
+	}
+	b := data[0]
+	for _, v := range data[1:] {
+		if v != b {
+			return 0, false
+		}
+	}
+	return b, true
+}
+
+// New creates a tier from cfg. The id is the caller's tier identifier
+// (stored in struct-page analogue by the memory manager).
+func New(id int, cfg Config) (*Tier, error) {
+	codec, err := compress.Lookup(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := zpool.New(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := media.ParseKind(cfg.Media.String()); err != nil {
+		return nil, err
+	}
+	return &Tier{cfg: cfg, id: id, codec: codec, pool: pool}, nil
+}
+
+// MustNew is New but panics on error; for the built-in tier configs.
+func MustNew(id int, cfg Config) *Tier {
+	t, err := New(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ID returns the tier identifier assigned at creation.
+func (t *Tier) ID() int { return t.id }
+
+// Config returns the tier's configuration.
+func (t *Tier) Config() Config { return t.cfg }
+
+// Name returns the tier's encoded name (e.g. "ZS-LO-DR").
+func (t *Tier) Name() string { return t.cfg.String() }
+
+// Store compresses page data and stores it. It returns the handle and the
+// modeled store latency in nanoseconds. ErrIncompressible is returned when
+// the compressed page would occupy a full pool page or more.
+func (t *Tier) Store(data []byte) (Handle, float64, error) {
+	// Same-filled fast path (zswap's optimization): a page of one repeated
+	// byte is recorded in the handle alone — no compression, no pool space.
+	if b, ok := sameFilledByte(data); ok {
+		t.stores++
+		t.sameFilled++
+		return Handle{sameFilled: true, fillByte: b, size: 0}, sameFilledScanNs, nil
+	}
+	t.scratch = t.codec.Compress(t.scratch[:0], data)
+	comp := t.scratch
+	if len(comp) >= PageSize {
+		t.rejects++
+		// Even a rejected store costs the compression attempt.
+		return Handle{}, CompressNs(t.cfg.Codec, len(data)), ErrIncompressible
+	}
+	lat := CompressNs(t.cfg.Codec, len(data))
+	h, storeNs, err := t.storeCompressed(comp)
+	if err != nil {
+		return Handle{}, lat, err
+	}
+	return h, lat + storeNs, nil
+}
+
+// StoreCompressed inserts an already-compressed object produced by a tier
+// with the same codec, skipping the compression step — the §7.1
+// optimization for compressed-to-compressed migration. The caller must
+// guarantee comp was produced by this tier's codec.
+func (t *Tier) StoreCompressed(comp []byte) (Handle, float64, error) {
+	if len(comp) >= PageSize {
+		t.rejects++
+		return Handle{}, 0, ErrIncompressible
+	}
+	return t.storeCompressed(comp)
+}
+
+func (t *Tier) storeCompressed(comp []byte) (Handle, float64, error) {
+	if t.maxPoolPages > 0 {
+		// Admission check against the footprint bound; conservative by one
+		// pool page, like zswap's accept-threshold hysteresis.
+		if t.pool.Stats().PoolPages >= t.maxPoolPages {
+			t.fullRejects++
+			return Handle{}, 0, ErrTierFull
+		}
+	}
+	h, err := t.pool.Store(comp)
+	if err != nil {
+		t.rejects++
+		return Handle{}, 0, ErrIncompressible
+	}
+	t.stores++
+	lat := PoolStoreNs(t.cfg.Pool) + media.WriteCostNs(t.cfg.Media, len(comp))
+	return Handle{pool: h, size: len(comp)}, lat, nil
+}
+
+// Load decompresses the page identified by h, appending it to dst. It
+// returns the page bytes and the modeled access (fault) latency in
+// nanoseconds: pool lookup + media read of the compressed object +
+// decompression. The latency of writing the page into its destination
+// byte-addressable tier is charged by the memory manager.
+func (t *Tier) Load(h Handle, dst []byte) ([]byte, float64, error) {
+	if h.sameFilled {
+		t.faults++
+		start := len(dst)
+		dst = append(dst, make([]byte, PageSize)...)
+		for i := start; i < len(dst); i++ {
+			dst[i] = h.fillByte
+		}
+		return dst, sameFilledFillNs, nil
+	}
+	comp, err := t.pool.Load(h.pool, nil)
+	if err != nil {
+		return dst, 0, err
+	}
+	out, err := t.codec.Decompress(dst, comp)
+	if err != nil {
+		return dst, 0, fmt.Errorf("ztier %s: corrupt object: %w", t.Name(), err)
+	}
+	t.faults++
+	lat := PoolLookupNs(t.cfg.Pool) +
+		media.ReadCostNs(t.cfg.Media, len(comp)) +
+		DecompressNs(t.cfg.Codec, PageSize)
+	return out, lat, nil
+}
+
+// LoadCompressed returns the raw compressed object (no decompression) and
+// the modeled read latency — the extraction half of the §7.1 same-codec
+// migration fast path. Same-filled handles return (nil, ok=false) since
+// they carry no pool object; callers fall back to the generic path.
+func (t *Tier) LoadCompressed(h Handle, dst []byte) ([]byte, float64, bool, error) {
+	if h.sameFilled {
+		return dst, 0, false, nil
+	}
+	comp, err := t.pool.Load(h.pool, dst)
+	if err != nil {
+		return dst, 0, false, err
+	}
+	lat := PoolLookupNs(t.cfg.Pool) + media.ReadCostNs(t.cfg.Media, h.size)
+	return comp, lat, true, nil
+}
+
+// Free releases the stored page.
+func (t *Tier) Free(h Handle) error {
+	if h.sameFilled {
+		t.sameFilled--
+		return nil
+	}
+	return t.pool.Free(h.pool)
+}
+
+// Compact runs the pool's compactor (zsmalloc's zs_compact) and returns
+// the pool pages reclaimed plus the modeled cost of the object moves.
+func (t *Tier) Compact() (int, float64) {
+	reclaimed := t.pool.Compact()
+	if reclaimed == 0 {
+		return 0, 0
+	}
+	// Each reclaimed pool page implies roughly a page's worth of objects
+	// copied within the pool: one lookup + one store plus the media
+	// read/write of the bytes.
+	per := PoolLookupNs(t.cfg.Pool) + PoolStoreNs(t.cfg.Pool) +
+		media.ReadCostNs(t.cfg.Media, PageSize) + media.WriteCostNs(t.cfg.Media, PageSize)
+	return reclaimed, float64(reclaimed) * per
+}
+
+// Stats returns the tier's counters. Pages includes live same-filled
+// pages, which contribute no pool footprint.
+func (t *Tier) Stats() Stats {
+	ps := t.pool.Stats()
+	return Stats{
+		Pages:           ps.Objects + int(t.sameFilled),
+		CompressedBytes: ps.StoredBytes,
+		PoolPages:       ps.PoolPages,
+		Faults:          t.faults,
+		Stores:          t.stores,
+		Rejects:         t.rejects,
+		SameFilled:      t.sameFilled,
+		FullRejects:     t.fullRejects,
+	}
+}
+
+// CostPerGB returns the tier's backing medium unit cost.
+func (t *Tier) CostPerGB() float64 { return media.Props(t.cfg.Media).CostPerGB }
+
+// AccessNs returns the modeled latency of faulting a page of the given
+// compressed size out of this tier (without the destination write),
+// matching what Load would charge.
+func (t *Tier) AccessNs(compressedSize int) float64 {
+	return PoolLookupNs(t.cfg.Pool) +
+		media.ReadCostNs(t.cfg.Media, compressedSize) +
+		DecompressNs(t.cfg.Codec, PageSize)
+}
+
+// TypicalAccessNs returns the tier's modeled fault latency assuming a
+// typical 50% compressed page — the per-tier Lat_CT constant the
+// analytical model uses (Eq. 7) before it has observed real objects.
+func (t *Tier) TypicalAccessNs() float64 {
+	return t.AccessNs(PageSize / 2)
+}

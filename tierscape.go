@@ -1,0 +1,253 @@
+// Package tierscape is a pure-Go reproduction of "TierScape: Harnessing
+// Multiple Compressed Tiers to Tame Server Memory TCO" (EuroSys '26).
+//
+// TierScape manages application memory across byte-addressable tiers
+// (DRAM, Optane-style NVMM, CXL) and multiple software-defined compressed
+// tiers, each a combination of a compression algorithm (lz4, lzo, lzo-rle,
+// deflate, zstd-class, 842, lz4hc — all implemented from scratch in this
+// module), a compressed-object pool manager (zsmalloc, zbud, z3fold) and a
+// backing medium. A PEBS-style profiler builds per-region hotness each
+// profile window; a placement model — the threshold-based Waterfall or the
+// ILP-based analytical model with its TCO/performance knob α — then
+// scatters regions across tiers, trading memory TCO against performance.
+//
+// This package is the facade over the implementation packages in
+// internal/: it builds tiered systems, wires workloads to the TS-Daemon
+// simulation loop, and returns results with throughput, latency
+// percentiles and TCO accounting. See the examples/ directory for
+// runnable walkthroughs and internal/experiments for the harnesses that
+// regenerate every figure and table of the paper.
+//
+// A minimal run:
+//
+//	wl := tierscape.MemcachedYCSB(16*tierscape.RegionPages, 42)
+//	res, err := tierscape.Run(tierscape.RunConfig{
+//		Workload: wl,
+//		Tiers:    tierscape.StandardMix(),
+//		Model:    tierscape.AMTCO(),
+//		Windows:  8,
+//		OpsPerWindow: 20000,
+//	})
+//	fmt.Printf("savings %.1f%%\n", res.SavingsPct())
+package tierscape
+
+import (
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
+)
+
+// Page and region geometry (4 KB pages, 2 MB regions).
+const (
+	PageSize    = mem.PageSize
+	RegionPages = mem.RegionPages
+	RegionSize  = mem.RegionSize
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// TierConfig selects a compressed tier's codec, pool manager and
+	// backing medium.
+	TierConfig = ztier.Config
+	// MediaKind identifies a backing medium (DRAM, NVMM, CXL).
+	MediaKind = media.Kind
+	// Model is a placement model (Waterfall, Analytical, baselines).
+	Model = model.Model
+	// Workload drives the simulation with operations.
+	Workload = workload.Workload
+	// Result summarizes a run: throughput, latency percentiles, per-window
+	// placement and TCO accounting.
+	Result = sim.Result
+	// Manager is the tiered memory manager (exposed for advanced use).
+	Manager = mem.Manager
+	// TierID identifies a tier within a system; DRAM is always 0.
+	TierID = mem.TierID
+)
+
+// Media kinds.
+const (
+	DRAM = media.DRAM
+	NVMM = media.NVMM
+	CXL  = media.CXL
+)
+
+// StandardMix returns the paper's §8.2 tier lineup beyond DRAM+NVMM:
+// CT-1 (GSwap: lzo/zsmalloc/DRAM) and CT-2 (TMO: zstd/zsmalloc/Optane).
+func StandardMix() []TierConfig {
+	return []TierConfig{ztier.CT1(), ztier.CT2()}
+}
+
+// Spectrum returns the paper's §8.3 five-tier compressed spectrum:
+// C1, C2, C4, C7 and C12 from the §5 characterization.
+func Spectrum() []TierConfig { return ztier.SpectrumSet() }
+
+// CharacterizationTier returns tier Ck (k in 1..12) from Figure 2.
+func CharacterizationTier(k int) TierConfig { return ztier.Characterization(k) }
+
+// Standard-mix tier ids when Run is used with StandardMix():
+// DRAM=0, NVMM=1, CT-1=2, CT-2=3.
+const (
+	StdNVMM = TierID(1)
+	StdCT1  = TierID(2)
+	StdCT2  = TierID(3)
+)
+
+// Placement models.
+
+// AMTCO returns the analytical model tuned for TCO savings (α=0.3 — the
+// paper does not publish its AM-TCO α; 0.3 reproduces its reported regime
+// of deep savings at modest slowdown).
+func AMTCO() Model { return &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"} }
+
+// AMPerf returns the analytical model tuned for performance (α=0.7:
+// near-DRAM performance with clear savings, Figure 7's AM-perf regime).
+func AMPerf() Model { return &model.Analytical{Alpha: 0.7, ModelName: "AM-perf"} }
+
+// AM returns the analytical model at an arbitrary knob α ∈ [0,1].
+func AM(alpha float64) Model { return &model.Analytical{Alpha: alpha} }
+
+// WaterfallModel returns the §6.1 waterfall model at the given hotness
+// percentile threshold (25 = conservative, 75 = aggressive).
+func WaterfallModel(pct float64) Model { return &model.Waterfall{Pct: pct} }
+
+// HeMemBaseline returns the HeMem* two-tier baseline pushing cold regions
+// to slow (typically StdNVMM).
+func HeMemBaseline(slow TierID, pct float64) Model { return model.HeMem(slow, pct) }
+
+// GSwapBaseline returns the GSwap* baseline (slow typically StdCT1).
+func GSwapBaseline(slow TierID, pct float64) Model { return model.GSwap(slow, pct) }
+
+// TMOBaseline returns the TMO* baseline (slow typically StdCT2).
+func TMOBaseline(slow TierID, pct float64) Model { return model.TMO(slow, pct) }
+
+// Workloads (Table 2), scaled by footprint in pages.
+
+// MemcachedYCSB returns Memcached driven by YCSB's zipfian generator with
+// the paper's drifting hot set.
+func MemcachedYCSB(pages int64, seed uint64) Workload {
+	return workload.Memcached(workload.DriverYCSB, 1024, pages, seed)
+}
+
+// MemcachedMemtier returns Memcached driven by memtier's Gaussian
+// generator with the given value size (the paper uses 1 KB and 4 KB).
+func MemcachedMemtier(valueSize, pages int64, seed uint64) Workload {
+	return workload.Memcached(workload.DriverMemtier, valueSize, pages, seed)
+}
+
+// RedisYCSB returns the Redis workload.
+func RedisYCSB(pages int64, seed uint64) Workload { return workload.Redis(pages, seed) }
+
+// BFSWorkload returns Ligra-style BFS over an rMat graph.
+func BFSWorkload(vertices int64, seed uint64) Workload { return workload.NewBFS(vertices, 8, seed) }
+
+// PageRankWorkload returns PageRank over an rMat graph.
+func PageRankWorkload(vertices int64, seed uint64) Workload {
+	return workload.NewPageRank(vertices, 8, seed)
+}
+
+// XSBenchWorkload returns the XSBench cross-section lookup kernel.
+func XSBenchWorkload(pages int64, seed uint64) Workload { return workload.NewXSBench(pages, seed) }
+
+// GraphSAGEWorkload returns the GraphSAGE minibatch sampling workload.
+func GraphSAGEWorkload(pages int64, seed uint64) Workload {
+	return workload.NewGraphSAGE(pages, seed)
+}
+
+// RunConfig configures one TS-Daemon simulation.
+type RunConfig struct {
+	// Workload drives accesses (required).
+	Workload Workload
+	// Tiers lists the compressed tiers (e.g. StandardMix(), Spectrum()).
+	Tiers []TierConfig
+	// ByteTiers lists byte-addressable tiers beyond DRAM (e.g. NVMM).
+	// Run with StandardMix() usually pairs it with []MediaKind{NVMM}.
+	ByteTiers []MediaKind
+	// Model places regions each window; nil = all-DRAM baseline.
+	Model Model
+	// Windows and OpsPerWindow shape the control loop (required).
+	Windows, OpsPerWindow int
+	// SampleRate is the profiler period (0 = 1-in-5000; scaled runs want
+	// denser sampling, e.g. 50).
+	SampleRate int
+	// Seed fixes content generation (default 42).
+	Seed uint64
+	// DRAMCapacityPages bounds DRAM (0 = unbounded).
+	DRAMCapacityPages int64
+	// PushThreads is how many daemon threads apply migrations (default 2,
+	// the artifact's PT2 setting).
+	PushThreads int
+	// PrefetchFaultThreshold enables the §3.2 prefetcher: a region hit by
+	// this many compressed-tier faults in one window is promoted in bulk
+	// by the daemon. 0 disables it.
+	PrefetchFaultThreshold int
+}
+
+// Run builds a tiered system sized for the workload and executes the
+// TS-Daemon loop, returning the run's results.
+func Run(cfg RunConfig) (*Result, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	var content corpus.Source = corpus.NewGenerator(cfg.Workload.Content(), seed)
+	if c, ok := cfg.Workload.(*workload.Colocated); ok {
+		content = c.ContentSource(seed)
+	}
+	m, err := mem.NewManager(mem.Config{
+		NumPages:          cfg.Workload.NumPages(),
+		Content:           content,
+		DRAMCapacityPages: cfg.DRAMCapacityPages,
+		ByteTiers:         cfg.ByteTiers,
+		CompressedTiers:   cfg.Tiers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sim.Config{
+		Manager:                m,
+		Workload:               cfg.Workload,
+		Model:                  cfg.Model,
+		Windows:                cfg.Windows,
+		OpsPerWindow:           cfg.OpsPerWindow,
+		SampleRate:             cfg.SampleRate,
+		PushThreads:            cfg.PushThreads,
+		PrefetchFaultThreshold: cfg.PrefetchFaultThreshold,
+	})
+}
+
+// MasimWorkload returns the artifact's masim microbenchmark: three
+// equal-size regions whose hot/warm/cold roles rotate each phase.
+func MasimWorkload(pagesPerRegion, opsPerPhase int64, seed uint64) Workload {
+	return workload.DefaultMasim(pagesPerRegion, opsPerPhase, seed)
+}
+
+// Colocate interleaves several workloads on one shared tiered system —
+// the paper's future-work direction (v). Run detects colocated workloads
+// and stitches each tenant's content profile into its address range.
+func Colocate(tenants ...Workload) Workload { return workload.Colocate(tenants...) }
+
+// YCSBWorkload returns the lettered YCSB core workload ('A'..'F') over a
+// KV store sized to roughly pages; workload C is the paper's
+// configuration, D's "latest" distribution drifts with inserts.
+func YCSBWorkload(letter byte, pages int64, seed uint64) (Workload, error) {
+	keys := pages * PageSize * 7 / 8 / 1024
+	return workload.NewYCSB(letter, keys, 1024, seed)
+}
+
+// StandardRun runs wl on the full §8.2 standard mix (DRAM + NVMM + CT-1 +
+// CT-2) under mdl.
+func StandardRun(wl Workload, mdl Model, windows, opsPerWindow int) (*Result, error) {
+	return Run(RunConfig{
+		Workload:     wl,
+		Tiers:        StandardMix(),
+		ByteTiers:    []MediaKind{NVMM},
+		Model:        mdl,
+		Windows:      windows,
+		OpsPerWindow: opsPerWindow,
+		SampleRate:   50,
+	})
+}
