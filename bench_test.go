@@ -6,6 +6,9 @@
 // Figure benches run the experiment harness at test scale per iteration;
 // absolute wall time is the harness cost, while the reported custom
 // metrics (savings_pct, slowdown_pct, ...) carry the reproduction result.
+// Harnesses submit runs through the experiments run engine, so figure
+// benches fan out across GOMAXPROCS workers by default; the _Serial
+// variants pin the pool to one worker as the speedup reference.
 package tierscape
 
 import (
@@ -59,6 +62,21 @@ func BenchmarkFig7_StandardMix(b *testing.B) {
 			b.Fatal(err)
 		}
 		// AM-TCO row of the first workload: savings metric.
+		b.ReportMetric(cellF(b, t, 4, 3), "memcached_amtco_savings_pct")
+	}
+}
+
+// BenchmarkFig7_StandardMix_Serial pins the run engine to one worker: the
+// wall-time gap to BenchmarkFig7_StandardMix is the pool's speedup, and
+// both variants must report identical metrics (determinism guarantee).
+func BenchmarkFig7_StandardMix_Serial(b *testing.B) {
+	experiments.SetParallelism(1)
+	defer experiments.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(cellF(b, t, 4, 3), "memcached_amtco_savings_pct")
 	}
 }

@@ -7,6 +7,8 @@
 //	experiments -fig 7                   # Figure 7 (standard mix)
 //	experiments -fig 13 -scale small     # Figure 13 at test scale
 //	experiments -fig 2 -csv              # Figure 2 as CSV
+//	experiments -fig 7 -parallel 4       # bound the worker pool (tables are
+//	                                     # identical at every -parallel value)
 //
 // Exhibits: 1, 2, 7, 8, 9, 10, 11, 12, 13, 14, table1, ablations.
 package main
@@ -24,7 +26,9 @@ func main() {
 	scale := flag.String("scale", "default", "experiment scale: default or small")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "also render scatter plots for slowdown-vs-savings exhibits (7, 10, 13)")
+	par := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS); output is identical at any setting")
 	flag.Parse()
+	experiments.SetParallelism(*par)
 
 	var s experiments.Scale
 	switch *scale {

@@ -4,7 +4,6 @@ import (
 	"tierscape/internal/corpus"
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
-	"tierscape/internal/sim"
 	"tierscape/internal/workload"
 	"tierscape/internal/ztier"
 )
@@ -24,9 +23,9 @@ func CompressibilityAware(s Scale) (*Table, error) {
 	}
 	// masim over a Regional corpus: every region's hotness is similar
 	// enough that compressibility, not temperature, must drive placement.
-	mkWl := func() workload.Workload {
+	spec := WorkloadSpec{Name: "masim/regional", New: func(s Scale) workload.Workload {
 		return workload.DefaultMasim(2*mem.RegionPages, int64(s.OpsPerWindow), s.Seed)
-	}
+	}}
 	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
 		return mem.NewManager(mem.Config{
 			NumPages: wl.NumPages(),
@@ -36,36 +35,29 @@ func CompressibilityAware(s Scale) (*Table, error) {
 			CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
 		})
 	}
-	run := func(mdl model.Model) (*sim.Result, error) {
-		wl := mkWl()
-		m, err := build(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return sim.Run(sim.Config{
-			Manager: m, Workload: wl, Model: mdl,
-			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
-		})
-	}
-	base, err := run(nil)
-	if err != nil {
-		return nil, err
-	}
-	for _, cfg := range []struct {
+	variants := []struct {
 		name  string
 		aware bool
 	}{
 		{"AM-blind", false},
 		{"AM-aware", true},
-	} {
-		res, err := run(&model.Analytical{
-			Alpha:                0.2,
-			ModelName:            cfg.name,
-			CompressibilityAware: cfg.aware,
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	jobs := []runJob{{spec: spec, build: build}}
+	for _, cfg := range variants {
+		jobs = append(jobs, runJob{spec: spec, build: build,
+			mdl: &model.Analytical{
+				Alpha:                0.2,
+				ModelName:            cfg.name,
+				CompressibilityAware: cfg.aware,
+			}})
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, cfg := range variants {
+		res := results[i+1]
 		rejects := 0
 		for _, w := range res.Windows {
 			rejects += w.Rejected

@@ -25,42 +25,56 @@ func Fig2(pagesPerTier int) *Table {
 	if pagesPerTier <= 0 {
 		pagesPerTier = 512
 	}
-	for _, dataset := range []corpus.Profile{corpus.NCI, corpus.Dickens} {
-		for k := 1; k <= 12; k++ {
-			cfg := ztier.Characterization(k)
-			tier := ztier.MustNew(k, cfg)
-			gen := corpus.NewGenerator(dataset, 7)
-			var handles []ztier.Handle
-			var stored int
-			for i := 0; i < pagesPerTier; i++ {
-				h, _, err := tier.Store(gen.Page(uint64(i), ztier.PageSize))
-				if err != nil {
-					continue // incompressible page rejected, like zswap
-				}
-				handles = append(handles, h)
-				stored++
+	// Each (dataset, tier) cell owns its tier and generator, so the 24-cell
+	// matrix fans out through the run engine; rows land in loop order.
+	datasets := []corpus.Profile{corpus.NCI, corpus.Dickens}
+	type cell struct {
+		tier, config, dataset string
+		latNs, normTCO, ratio float64
+	}
+	cells := make([]cell, len(datasets)*12)
+	_ = RunSet(len(cells), func(i int) error {
+		dataset := datasets[i/12]
+		k := i%12 + 1
+		cfg := ztier.Characterization(k)
+		tier := ztier.MustNew(k, cfg)
+		gen := corpus.NewGenerator(dataset, 7)
+		var handles []ztier.Handle
+		var stored int
+		for p := 0; p < pagesPerTier; p++ {
+			h, _, err := tier.Store(gen.Page(uint64(p), ztier.PageSize))
+			if err != nil {
+				continue // incompressible page rejected, like zswap
 			}
-			// Average modeled access latency over real compressed sizes.
-			var latNs float64
-			for _, h := range handles {
-				latNs += tier.AccessNs(h.CompressedSize())
-			}
-			if len(handles) > 0 {
-				latNs /= float64(len(handles))
-			}
-			st := tier.Stats()
-			logicalBytes := float64(stored) * ztier.PageSize
-			normTCO := 0.0
-			ratio := 0.0
-			if logicalBytes > 0 {
-				dramCost := logicalBytes / (1 << 30) * media.Props(media.DRAM).CostPerGB
-				tierCost := float64(st.PoolBytes()) / (1 << 30) * tier.CostPerGB()
-				normTCO = tierCost / dramCost
-				ratio = float64(st.CompressedBytes) / logicalBytes
-			}
-			t.Addf(fmt.Sprintf("C%d", k), cfg.String(), dataset.String(),
-				latNs/1000, normTCO, ratio)
+			handles = append(handles, h)
+			stored++
 		}
+		// Average modeled access latency over real compressed sizes.
+		var latNs float64
+		for _, h := range handles {
+			latNs += tier.AccessNs(h.CompressedSize())
+		}
+		if len(handles) > 0 {
+			latNs /= float64(len(handles))
+		}
+		st := tier.Stats()
+		logicalBytes := float64(stored) * ztier.PageSize
+		normTCO := 0.0
+		ratio := 0.0
+		if logicalBytes > 0 {
+			dramCost := logicalBytes / (1 << 30) * media.Props(media.DRAM).CostPerGB
+			tierCost := float64(st.PoolBytes()) / (1 << 30) * tier.CostPerGB()
+			normTCO = tierCost / dramCost
+			ratio = float64(st.CompressedBytes) / logicalBytes
+		}
+		cells[i] = cell{
+			tier: fmt.Sprintf("C%d", k), config: cfg.String(), dataset: dataset.String(),
+			latNs: latNs, normTCO: normTCO, ratio: ratio,
+		}
+		return nil
+	})
+	for _, c := range cells {
+		t.Addf(c.tier, c.config, c.dataset, c.latNs/1000, c.normTCO, c.ratio)
 	}
 	t.Note("access_us is the modeled fault latency (pool lookup + media read + decompress)")
 	t.Note("norm_tco < 1 means cheaper than uncompressed DRAM; DRAM load is 0.033us for comparison")

@@ -5,7 +5,6 @@ import (
 	"tierscape/internal/media"
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
-	"tierscape/internal/sim"
 	"tierscape/internal/workload"
 	"tierscape/internal/ztier"
 )
@@ -21,10 +20,10 @@ func Colocation(s Scale) (*Table, error) {
 		Title:   "Extension: co-located tenants on one tiered system (Memcached + PageRank)",
 		Headers: []string{"deployment", "model", "slowdown_pct", "tco_savings_pct"},
 	}
-	mkMemc := func() workload.Workload {
+	mkMemc := func(s Scale) workload.Workload {
 		return workload.Memcached(workload.DriverMemtier, 1024, s.KVPages, s.Seed)
 	}
-	mkPR := func() workload.Workload {
+	mkPR := func(s Scale) workload.Workload {
 		return workload.NewPageRank(s.GraphVertices, 8, s.Seed)
 	}
 	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
@@ -36,39 +35,34 @@ func Colocation(s Scale) (*Table, error) {
 			CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
 		})
 	}
-	run := func(wl workload.Workload, mdl model.Model) (*sim.Result, error) {
-		m, err := build(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return sim.Run(sim.Config{
-			Manager: m, Workload: wl, Model: mdl,
-			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
-		})
+	// Two solo tenants and the colocated pair: a (baseline, AM-TCO) job
+	// couple for each deployment.
+	specs := []WorkloadSpec{
+		{Name: "memcached", New: mkMemc},
+		{Name: "pagerank", New: mkPR},
+		{Name: "colocated", New: func(s Scale) workload.Workload {
+			return workload.Colocate(mkMemc(s), mkPR(s))
+		}},
 	}
-
-	// Solo runs.
-	for _, mk := range []func() workload.Workload{mkMemc, mkPR} {
-		base, err := run(mk(), nil)
-		if err != nil {
-			return nil, err
-		}
-		res, err := run(mk(), &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"})
-		if err != nil {
-			return nil, err
-		}
-		t.Addf("solo/"+base.WorkloadName, res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs,
+			runJob{spec: spec, build: build},
+			runJob{spec: spec, build: build, mdl: &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"}},
+		)
 	}
-	// Colocated run.
-	base, err := run(workload.Colocate(mkMemc(), mkPR()), nil)
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(workload.Colocate(mkMemc(), mkPR()), &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"})
-	if err != nil {
-		return nil, err
+	for i := range specs {
+		base, res := results[2*i], results[2*i+1]
+		name := "solo/" + base.WorkloadName
+		if specs[i].Name == "colocated" {
+			name = "colocated"
+		}
+		t.Addf(name, res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
 	}
-	t.Addf("colocated", res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
 	t.Note("one daemon and one tier set serve both tenants; savings hold at colocation")
 	return t, nil
 }

@@ -38,19 +38,21 @@ func CXLVariant(s Scale) (*Table, error) {
 			})
 		}},
 	}
+	var jobs []runJob
 	for _, b := range builders {
-		base, err := runOne(s, spec, nil, b.build)
-		if err != nil {
-			return nil, err
-		}
-		for _, mdl := range []model.Model{
-			&model.Waterfall{Pct: 25},
-			&model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"},
-		} {
-			res, err := runOne(s, spec, mdl, b.build)
-			if err != nil {
-				return nil, err
-			}
+		jobs = append(jobs,
+			runJob{spec: spec, build: b.build},
+			runJob{spec: spec, build: b.build, mdl: &model.Waterfall{Pct: 25}},
+			runJob{spec: spec, build: b.build, mdl: &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"}},
+		)
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range builders {
+		base := results[3*bi]
+		for _, res := range results[3*bi+1 : 3*bi+3] {
 			t.Addf(b.name, res.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
 		}
 	}

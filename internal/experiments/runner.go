@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/sim"
+	"tierscape/internal/workload"
+)
+
+// This file is the experiment run engine: every figure harness submits its
+// sim.Run configurations as runJobs and the engine fans them out across a
+// worker pool. Runs are embarrassingly parallel — each owns a fresh
+// manager, workload and profiler, and is seeded purely from its Scale — so
+// scheduling order cannot influence any result: the tables a harness emits
+// are byte-identical at every parallelism level.
+
+// parallelism is the configured worker count; 0 means GOMAXPROCS.
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker count used by RunSet. n < 1 restores the
+// default (GOMAXPROCS). Safe to call concurrently with running sets; the
+// new value applies to sets started afterwards.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the effective worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSet executes n independent jobs across Parallelism() workers and
+// blocks until all complete. Jobs are dispatched by index; every job runs
+// exactly once even when some fail. The returned error is deterministic
+// regardless of scheduling: the lowest-index job error, exactly what a
+// serial for-loop that collected all errors would report first.
+func RunSet(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// managerBuilder builds a manager sized for a workload.
+type managerBuilder func(workload.Workload, uint64) (*mem.Manager, error)
+
+// runJob is one simulation run submitted to the engine. The zero values
+// pick the common defaults: standardManager as the builder, a nil model
+// (all-DRAM baseline) and the set-wide Scale.
+//
+// Each job must hold its OWN model instance — compressibility-aware
+// Analytical models cache probes, so sharing one across concurrent jobs
+// would race. Harnesses construct models per job, never per set.
+type runJob struct {
+	spec  WorkloadSpec
+	mdl   model.Model
+	build managerBuilder
+	// cfg optionally mutates the sim.Config before the run (filter
+	// settings, prefetch thresholds, cooling, telemetry source, ...).
+	cfg func(*sim.Config)
+	// scale overrides the set-wide Scale for this job (window ablations).
+	scale *Scale
+}
+
+// run executes the job serially; the engine calls it from a worker.
+func (j runJob) run(s Scale) (*sim.Result, error) {
+	if j.scale != nil {
+		s = *j.scale
+	}
+	build := j.build
+	if build == nil {
+		build = standardManager
+	}
+	wl := j.spec.New(s)
+	m, err := build(wl, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building manager for %s: %w", j.spec.Name, err)
+	}
+	cfg := sim.Config{
+		Manager:      m,
+		Workload:     wl,
+		Model:        j.mdl,
+		OpsPerWindow: s.OpsPerWindow,
+		Windows:      s.Windows,
+		SampleRate:   sim.Int(s.SampleRate),
+	}
+	if j.cfg != nil {
+		j.cfg(&cfg)
+	}
+	return sim.Run(cfg)
+}
+
+// runJobs fans jobs across the worker pool and returns their results in
+// job order. On error the whole set is discarded (remaining jobs still ran
+// to completion) and the lowest-index error is returned.
+func runJobs(s Scale, jobs []runJob) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(jobs))
+	err := RunSet(len(jobs), func(i int) error {
+		res, err := jobs[i].run(s)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runOne executes wl under mdl on a freshly built manager — a one-job set.
+func runOne(s Scale, spec WorkloadSpec, mdl model.Model, build managerBuilder) (*sim.Result, error) {
+	results, err := runJobs(s, []runJob{{spec: spec, mdl: mdl, build: build}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/workload"
+)
+
+// withParallelism runs f with the pool pinned to n workers, restoring the
+// default afterwards.
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	f()
+}
+
+func TestRunSetRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		withParallelism(t, workers, func() {
+			const n = 100
+			counts := make([]int32, n)
+			if err := RunSet(n, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestRunSetEmpty(t *testing.T) {
+	if err := RunSet(0, func(int) error { t.Fatal("job called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSetDeterministicFirstError(t *testing.T) {
+	// Multiple jobs fail; the reported error must be the lowest-index one
+	// regardless of worker scheduling — exactly what a serial loop reports.
+	for _, workers := range []int{1, 8} {
+		withParallelism(t, workers, func() {
+			for trial := 0; trial < 20; trial++ {
+				err := RunSet(50, func(i int) error {
+					if i == 7 || i == 23 || i == 49 {
+						return fmt.Errorf("job %d failed", i)
+					}
+					return nil
+				})
+				if err == nil || err.Error() != "job 7 failed" {
+					t.Fatalf("workers=%d: err = %v, want job 7's", workers, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRunSetCompletesAllJobsDespiteErrors(t *testing.T) {
+	withParallelism(t, 4, func() {
+		var ran int32
+		err := RunSet(20, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			return errors.New("boom")
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		if ran != 20 {
+			t.Fatalf("only %d/20 jobs ran; failures must not cancel the set", ran)
+		}
+	})
+}
+
+func TestParallelismClamping(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default parallelism = %d, want >= 1", got)
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("negative parallelism not clamped: %d", got)
+	}
+}
+
+func TestRunJobsPropagatesBuildError(t *testing.T) {
+	s := SmallScale()
+	spec := workloadByName("Memcached/YCSB")
+	boom := errors.New("no such medium")
+	results, err := runJobs(s, []runJob{
+		{spec: spec},
+		{spec: spec, build: func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
+			return nil, boom
+		}},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped build error", err)
+	}
+	if results != nil {
+		t.Fatal("failed set must not return partial results")
+	}
+}
+
+// TestParallelSerialIdenticalTables is the engine's core guarantee: a
+// harness table is byte-identical whether runs execute serially or fan out
+// across workers. Fig1 (4 runs) and TierCountAblation (6 runs, three
+// distinct builders) cover single-builder and multi-builder job sets.
+func TestParallelSerialIdenticalTables(t *testing.T) {
+	s := SmallScale()
+	for _, harness := range []struct {
+		name string
+		run  func(Scale) (*Table, error)
+	}{
+		{"Fig1", Fig1},
+		{"TierCountAblation", TierCountAblation},
+	} {
+		t.Run(harness.name, func(t *testing.T) {
+			var serialCSV, parallelCSV string
+			withParallelism(t, 1, func() {
+				tab, err := harness.run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialCSV = tab.CSV()
+			})
+			withParallelism(t, 8, func() {
+				tab, err := harness.run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parallelCSV = tab.CSV()
+			})
+			if serialCSV != parallelCSV {
+				t.Fatalf("tables differ between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+					serialCSV, parallelCSV)
+			}
+		})
+	}
+}
+
+// TestFig2ParallelSerialIdentical covers the non-sim RunSet user: the
+// characterization matrix must also be order-independent.
+func TestFig2ParallelSerialIdentical(t *testing.T) {
+	var serialCSV, parallelCSV string
+	withParallelism(t, 1, func() { serialCSV = Fig2(64).CSV() })
+	withParallelism(t, 8, func() { parallelCSV = Fig2(64).CSV() })
+	if serialCSV != parallelCSV {
+		t.Fatal("Fig2 tables differ between serial and parallel execution")
+	}
+}

@@ -1,16 +1,10 @@
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"tierscape/internal/corpus"
 	"tierscape/internal/media"
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
-	"tierscape/internal/sim"
 	"tierscape/internal/workload"
 	"tierscape/internal/ztier"
 )
@@ -145,65 +139,6 @@ func spectrumManager(wl workload.Workload, seed uint64) (*mem.Manager, error) {
 
 // spectrumGSwapTier is C7's tier id in the spectrum manager (GSwap's tier).
 const spectrumGSwapTier = mem.TierID(4)
-
-// runOne executes wl under mdl on a freshly built manager.
-func runOne(s Scale, spec WorkloadSpec, mdl model.Model,
-	build func(workload.Workload, uint64) (*mem.Manager, error)) (*sim.Result, error) {
-	wl := spec.New(s)
-	m, err := build(wl, s.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building manager for %s: %w", spec.Name, err)
-	}
-	return sim.Run(sim.Config{
-		Manager:      m,
-		Workload:     wl,
-		Model:        mdl,
-		OpsPerWindow: s.OpsPerWindow,
-		Windows:      s.Windows,
-		SampleRate:   s.SampleRate,
-	})
-}
-
-// runParallel executes n independent jobs across GOMAXPROCS workers and
-// returns the first error. Every simulation run is self-contained (own
-// manager, workload, profiler), so experiment fan-outs parallelize safely
-// and deterministically.
-func runParallel(n int, job func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		next int64 = -1
-		mu   sync.Mutex
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				if e := job(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
-}
 
 // standardModels returns the §8.2 model lineup at the paper's thresholds.
 // The paper does not publish AM-TCO/AM-perf's exact α; 0.3 and 0.7 land

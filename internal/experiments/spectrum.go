@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"tierscape/internal/model"
-	"tierscape/internal/sim"
 )
 
 // aggressiveness maps the paper's conservative/moderate/aggressive
@@ -29,24 +28,24 @@ func Fig12(s Scale) (*Table, error) {
 		Headers: []string{"config", "dram", "C1", "C2", "C4", "C7", "C12"},
 	}
 	spec := workloadByName("Memcached/memtier-1K") // stable pattern shows placement clearly
+	var names []string
+	var jobs []runJob
 	for _, agg := range aggressiveness {
-		for _, mk := range []func() (string, model.Model){
-			func() (string, model.Model) {
-				return "WF" + agg.Suffix, &model.Waterfall{Pct: agg.Pct}
-			},
-			func() (string, model.Model) {
-				return "AM" + agg.Suffix, &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}
-			},
-		} {
-			name, mdl := mk()
-			res, err := runOne(s, spec, mdl, spectrumManager)
-			if err != nil {
-				return nil, err
-			}
-			last := res.Windows[len(res.Windows)-1]
-			t.Addf(name, last.TierPages[0], last.TierPages[1], last.TierPages[2],
-				last.TierPages[3], last.TierPages[4], last.TierPages[5])
-		}
+		names = append(names, "WF"+agg.Suffix, "AM"+agg.Suffix)
+		jobs = append(jobs,
+			runJob{spec: spec, build: spectrumManager, mdl: &model.Waterfall{Pct: agg.Pct}},
+			runJob{spec: spec, build: spectrumManager,
+				mdl: &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}},
+		)
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		last := res.Windows[len(res.Windows)-1]
+		t.Addf(names[i], last.TierPages[0], last.TierPages[1], last.TierPages[2],
+			last.TierPages[3], last.TierPages[4], last.TierPages[5])
 	}
 	t.Note("tiers: C1=ZB-L4-DR C2=ZB-L4-OP C4=ZS-L4-OP C7=ZS-LO-DR C12=ZS-DE-OP")
 	return t, nil
@@ -64,43 +63,36 @@ func Fig13(s Scale) (*Table, error) {
 	specs := Workloads()
 	type cfg struct {
 		name string
-		mdl  model.Model
+		mdl  func() model.Model // fresh instance per job
 	}
 	var configs []cfg
 	for _, agg := range aggressiveness {
+		agg := agg
 		configs = append(configs,
-			cfg{"GS" + agg.Suffix, model.GSwap(spectrumGSwapTier, agg.Pct)},
-			cfg{"WF" + agg.Suffix, &model.Waterfall{Pct: agg.Pct}},
-			cfg{"AM" + agg.Suffix, &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}},
+			cfg{"GS" + agg.Suffix, func() model.Model { return model.GSwap(spectrumGSwapTier, agg.Pct) }},
+			cfg{"WF" + agg.Suffix, func() model.Model { return &model.Waterfall{Pct: agg.Pct} }},
+			cfg{"AM" + agg.Suffix, func() model.Model {
+				return &model.Analytical{Alpha: agg.Alpha, ModelName: "AM" + agg.Suffix}
+			}},
 		)
 	}
-	bases := make([]*sim.Result, len(specs))
-	results := make([]*sim.Result, len(specs)*len(configs))
-	err := runParallel(len(specs)*(len(configs)+1), func(i int) error {
-		wi := i / (len(configs) + 1)
-		ci := i%(len(configs)+1) - 1
-		var mdl model.Model
-		if ci >= 0 {
-			mdl = configs[ci].mdl
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs, runJob{spec: spec, build: spectrumManager})
+		for _, c := range configs {
+			jobs = append(jobs, runJob{spec: spec, build: spectrumManager, mdl: c.mdl()})
 		}
-		res, err := runOne(s, specs[wi], mdl, spectrumManager)
-		if err != nil {
-			return err
-		}
-		if ci < 0 {
-			bases[wi] = res
-		} else {
-			results[wi*len(configs)+ci] = res
-		}
-		return nil
-	})
+	}
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
+	stride := len(configs) + 1
 	for wi, spec := range specs {
+		base := results[wi*stride]
 		for ci, c := range configs {
-			res := results[wi*len(configs)+ci]
-			t.Addf(spec.Name, c.name, res.SlowdownPctVs(bases[wi]), res.SavingsPct())
+			res := results[wi*stride+1+ci]
+			t.Addf(spec.Name, c.name, res.SlowdownPctVs(base), res.SavingsPct())
 		}
 	}
 	t.Note("paper shape: WF/AM reach savings GSwap* cannot, at similar or better slowdown (§8.3.1)")
@@ -115,16 +107,21 @@ func TierCountAblation(s Scale) (*Table, error) {
 		Headers: []string{"tiers", "slowdown_pct", "tco_savings_pct"},
 	}
 	spec := workloadByName("Memcached/memtier-1K")
-	for _, n := range []int{1, 2, 5} {
+	counts := []int{1, 2, 5}
+	var jobs []runJob
+	for _, n := range counts {
 		build := spectrumSubsetBuilder(n)
-		base, err := runOne(s, spec, nil, build)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runOne(s, spec, &model.Analytical{Alpha: 0.1, ModelName: "AM-A"}, build)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			runJob{spec: spec, build: build},
+			runJob{spec: spec, build: build, mdl: &model.Analytical{Alpha: 0.1, ModelName: "AM-A"}},
+		)
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		base, res := results[2*i], results[2*i+1]
 		t.Addf(fmt.Sprintf("%d", n), res.SlowdownPctVs(base), res.SavingsPct())
 	}
 	t.Note("more tiers widen the trade-off space (paper: Memcached's achievable savings grew 40%%->55%%)")

@@ -47,9 +47,9 @@ func Fig1(s Scale) (*Table, error) {
 		Title:   "Figure 1: aggressiveness of single-compressed-tier placement (Memcached)",
 		Headers: []string{"placement", "tco_savings_pct", "slowdown_pct"},
 	}
-	mkWl := func() workload.Workload {
+	spec := WorkloadSpec{Name: "Memcached/memtier-1K", New: func(s Scale) workload.Workload {
 		return workload.Memcached(workload.DriverMemtier, 1024, s.KVPages, s.Seed)
-	}
+	}}
 	build := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
 		return mem.NewManager(mem.Config{
 			NumPages:        wl.NumPages(),
@@ -57,26 +57,19 @@ func Fig1(s Scale) (*Table, error) {
 			CompressedTiers: []ztier.Config{{Codec: "zstd", Pool: "zsmalloc", Media: 0}},
 		})
 	}
-	runCfg := func(mdl model.Model) (*sim.Result, error) {
-		wl := mkWl()
-		m, err := build(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		return sim.Run(sim.Config{
-			Manager: m, Workload: wl, Model: mdl,
-			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
-		})
+	fracs := []float64{0.2, 0.5, 0.8}
+	jobs := []runJob{{spec: spec, build: build}}
+	for _, frac := range fracs {
+		jobs = append(jobs, runJob{spec: spec, build: build,
+			mdl: &fractionPlacement{frac: frac, ct: 1}})
 	}
-	base, err := runCfg(nil)
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, frac := range []float64{0.2, 0.5, 0.8} {
-		res, err := runCfg(&fractionPlacement{frac: frac, ct: 1})
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for i, frac := range fracs {
+		res := results[i+1]
 		t.Addf(fmt.Sprintf("%.0f%%", frac*100), res.SavingsPct(), res.SlowdownPctVs(base))
 	}
 	t.Note("paper: 20%%->11%% savings/9.5%% slowdown, 50%%->16%%/13.5%%, 80%%->32%%/20%%")
@@ -92,36 +85,26 @@ func Fig7(s Scale) (*Table, error) {
 		Headers: []string{"workload", "model", "slowdown_pct", "tco_savings_pct", "faults"},
 	}
 	specs := Workloads()
-	models := standardModels()
+	nModels := len(standardModels())
 	// One job per (workload, model) pair, plus one baseline per workload;
 	// every run is independent, so the whole matrix fans out in parallel.
-	bases := make([]*sim.Result, len(specs))
-	results := make([]*sim.Result, len(specs)*len(models))
-	err := runParallel(len(specs)*(len(models)+1), func(i int) error {
-		wi := i / (len(models) + 1)
-		mi := i%(len(models)+1) - 1
-		var mdl model.Model
-		if mi >= 0 {
-			mdl = models[mi]
+	// Models are constructed per job, never shared across jobs.
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs, runJob{spec: spec})
+		for mi := 0; mi < nModels; mi++ {
+			jobs = append(jobs, runJob{spec: spec, mdl: standardModels()[mi]})
 		}
-		res, err := runOne(s, specs[wi], mdl, standardManager)
-		if err != nil {
-			return err
-		}
-		if mi < 0 {
-			bases[wi] = res
-		} else {
-			results[wi*len(models)+mi] = res
-		}
-		return nil
-	})
+	}
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
 	for wi, spec := range specs {
-		for mi := range models {
-			res := results[wi*len(models)+mi]
-			t.Addf(spec.Name, res.ModelName, res.SlowdownPctVs(bases[wi]),
+		base := results[wi*(nModels+1)]
+		for mi := 0; mi < nModels; mi++ {
+			res := results[wi*(nModels+1)+1+mi]
+			t.Addf(spec.Name, res.ModelName, res.SlowdownPctVs(base),
 				res.SavingsPct(), res.Faults)
 		}
 	}
@@ -182,17 +165,17 @@ func Fig10(s Scale) (*Table, error) {
 		Headers: []string{"config", "slowdown_pct", "tco_savings_pct"},
 	}
 	spec := workloadByName("Memcached/YCSB")
-	base, err := runOne(s, spec, nil, standardManager)
-	if err != nil {
-		return nil, err
+	type point struct {
+		label func(*sim.Result) string
+		mdl   model.Model
 	}
+	var points []point
 	for _, alpha := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
-		mdl := &model.Analytical{Alpha: alpha, ModelName: fmt.Sprintf("AM-a%.1f", alpha)}
-		res, err := runOne(s, spec, mdl, standardManager)
-		if err != nil {
-			return nil, err
-		}
-		t.Addf(mdl.ModelName, res.SlowdownPctVs(base), res.SavingsPct())
+		name := fmt.Sprintf("AM-a%.1f", alpha)
+		points = append(points, point{
+			label: func(*sim.Result) string { return name },
+			mdl:   &model.Analytical{Alpha: alpha, ModelName: name},
+		})
 	}
 	for _, pct := range []float64{25, 75} {
 		for _, mdl := range []model.Model{
@@ -201,13 +184,27 @@ func Fig10(s Scale) (*Table, error) {
 			model.TMO(stdCT2, pct),
 			&model.Waterfall{Pct: pct},
 		} {
-			res, err := runOne(s, spec, mdl, standardManager)
-			if err != nil {
-				return nil, err
-			}
-			t.Addf(fmt.Sprintf("%s-P%.0f", res.ModelName, pct),
-				res.SlowdownPctVs(base), res.SavingsPct())
+			pct := pct
+			points = append(points, point{
+				label: func(r *sim.Result) string {
+					return fmt.Sprintf("%s-P%.0f", r.ModelName, pct)
+				},
+				mdl: mdl,
+			})
 		}
+	}
+	jobs := []runJob{{spec: spec}}
+	for _, p := range points {
+		jobs = append(jobs, runJob{spec: spec, mdl: p.mdl})
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, p := range points {
+		res := results[i+1]
+		t.Addf(p.label(res), res.SlowdownPctVs(base), res.SavingsPct())
 	}
 	t.Note("AM's alpha traces a savings/slowdown frontier; baselines are fixed points")
 	return t, nil
@@ -221,16 +218,17 @@ func Fig11(s Scale) (*Table, error) {
 		Headers: []string{"model", "avg", "p95", "p99.9"},
 	}
 	spec := workloadByName("Redis/YCSB")
-	base, err := runOne(s, spec, nil, standardManager)
+	jobs := []runJob{{spec: spec}}
+	for mi := range standardModels() {
+		jobs = append(jobs, runJob{spec: spec, mdl: standardModels()[mi]})
+	}
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
+	base := results[0]
 	bAvg, bP95, bP999 := base.OpLat.Mean(), base.OpLat.Percentile(95), base.OpLat.Percentile(99.9)
-	for _, mdl := range standardModels() {
-		res, err := runOne(s, spec, mdl, standardManager)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results[1:] {
 		t.Addf(res.ModelName,
 			res.OpLat.Mean()/bAvg,
 			res.OpLat.Percentile(95)/bP95,

@@ -56,23 +56,23 @@ func Fig14(s Scale) (*Table, error) {
 		Headers: []string{"config", "rel_perf", "daemon_ms", "solver_ms"},
 	}
 	spec := workloadByName("Memcached/memtier-1K")
-	base, err := runOne(s, spec, nil, standardManager)
-	if err != nil {
-		return nil, err
-	}
-	configs := []model.Model{
+	jobs := []runJob{{spec: spec}}
+	for _, mdl := range []model.Model{
 		noopModel{},
 		&model.Analytical{Alpha: 0.1, ModelName: "AM-TCO-Local"},
 		&model.Analytical{Alpha: 0.1, Remote: true, ModelName: "AM-TCO-Remote"},
 		&model.Analytical{Alpha: 0.9, ModelName: "AM-perf-Local"},
 		&model.Analytical{Alpha: 0.9, Remote: true, ModelName: "AM-perf-Remote"},
+	} {
+		jobs = append(jobs, runJob{spec: spec, mdl: mdl})
 	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
 	t.Addf("baseline", 1.0, 0.0, 0.0)
-	for _, mdl := range configs {
-		res, err := runOne(s, spec, mdl, standardManager)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results[1:] {
 		var solverNs float64
 		for _, w := range res.Windows {
 			solverNs += w.SolverNs
@@ -91,22 +91,25 @@ func SolverAblation(s Scale) (*Table, error) {
 		Headers: []string{"solver", "slowdown_pct", "tco_savings_pct", "solver_ms"},
 	}
 	spec := workloadByName("Memcached/memtier-1K")
-	base, err := runOne(s, spec, nil, standardManager)
-	if err != nil {
-		return nil, err
-	}
-	for _, cfg := range []struct {
+	solvers := []struct {
 		name   string
 		solver model.SolverKind
 	}{
 		{"greedy", model.SolverGreedy},
 		{"exact", model.SolverExact},
-	} {
-		mdl := &model.Analytical{Alpha: 0.3, Solver: cfg.solver, ModelName: "AM-" + cfg.name}
-		res, err := runOne(s, spec, mdl, standardManager)
-		if err != nil {
-			return nil, err
-		}
+	}
+	jobs := []runJob{{spec: spec}}
+	for _, cfg := range solvers {
+		jobs = append(jobs, runJob{spec: spec,
+			mdl: &model.Analytical{Alpha: 0.3, Solver: cfg.solver, ModelName: "AM-" + cfg.name}})
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, cfg := range solvers {
+		res := results[i+1]
 		var solverNs float64
 		for _, w := range res.Windows {
 			solverNs += w.SolverNs
@@ -124,11 +127,7 @@ func FilterAblation(s Scale) (*Table, error) {
 		Headers: []string{"filter", "slowdown_pct", "tco_savings_pct", "faults", "migrations"},
 	}
 	spec := workloadByName("Memcached/YCSB") // drifting hot set stresses the filter
-	base, err := runOne(s, spec, nil, standardManager)
-	if err != nil {
-		return nil, err
-	}
-	for _, cfg := range []struct {
+	settings := []struct {
 		name     string
 		pressure float64
 	}{
@@ -137,22 +136,22 @@ func FilterAblation(s Scale) (*Table, error) {
 		// production setting and rarely triggers.
 		{"on", 0.25},
 		{"off", 0},
-	} {
-		wl := spec.New(s)
-		m, err := standardManager(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
+	}
+	jobs := []runJob{{spec: spec}}
+	for _, cfg := range settings {
 		fc := policyConfig(cfg.pressure)
-		res, err := sim.Run(sim.Config{
-			Manager: m, Workload: wl,
-			Model:        &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
-			FilterConfig: &fc,
-			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows, SampleRate: s.SampleRate,
+		jobs = append(jobs, runJob{spec: spec,
+			mdl: &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
+			cfg: func(c *sim.Config) { c.FilterConfig = &fc },
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, cfg := range settings {
+		res := results[i+1]
 		var moves int
 		for _, w := range res.Windows {
 			moves += w.Moves
@@ -171,27 +170,22 @@ func PrefetchAblation(s Scale) (*Table, error) {
 		Headers: []string{"threshold", "slowdown_pct", "tco_savings_pct", "faults", "prefetches"},
 	}
 	spec := workloadByName("Memcached/YCSB")
-	base, err := runOne(s, spec, nil, standardManager)
+	thresholds := []int{0, 16, 4}
+	jobs := []runJob{{spec: spec}}
+	for _, thr := range thresholds {
+		thr := thr
+		jobs = append(jobs, runJob{spec: spec,
+			mdl: &model.Analytical{Alpha: 0.1, ModelName: "AM"},
+			cfg: func(c *sim.Config) { c.PrefetchFaultThreshold = thr },
+		})
+	}
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, thr := range []int{0, 16, 4} {
-		wl := spec.New(s)
-		m, err := standardManager(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(sim.Config{
-			Manager: m, Workload: wl,
-			Model:                  &model.Analytical{Alpha: 0.1, ModelName: "AM"},
-			OpsPerWindow:           s.OpsPerWindow,
-			Windows:                s.Windows,
-			SampleRate:             s.SampleRate,
-			PrefetchFaultThreshold: thr,
-		})
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for i, thr := range thresholds {
+		res := results[i+1]
 		t.Addf(thr, res.SlowdownPctVs(base), res.SavingsPct(), res.Faults, res.Prefetches)
 	}
 	t.Note("threshold 0 disables prefetching; lower thresholds trade TCO for fewer demand faults")
@@ -206,25 +200,22 @@ func CoolingAblation(s Scale) (*Table, error) {
 		Headers: []string{"cooling", "slowdown_pct", "tco_savings_pct", "faults"},
 	}
 	spec := workloadByName("Memcached/YCSB")
-	base, err := runOne(s, spec, nil, standardManager)
+	coolings := []float64{0.1, 0.5, 0.9}
+	jobs := []runJob{{spec: spec}}
+	for _, cool := range coolings {
+		cool := cool
+		jobs = append(jobs, runJob{spec: spec,
+			mdl: &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
+			cfg: func(c *sim.Config) { c.Cooling = sim.Float(cool) },
+		})
+	}
+	results, err := runJobs(s, jobs)
 	if err != nil {
 		return nil, err
 	}
-	for _, cool := range []float64{0.1, 0.5, 0.9} {
-		wl := spec.New(s)
-		m, err := standardManager(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(sim.Config{
-			Manager: m, Workload: wl,
-			Model:        &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
-			OpsPerWindow: s.OpsPerWindow, Windows: s.Windows,
-			SampleRate: s.SampleRate, Cooling: cool,
-		})
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for i, cool := range coolings {
+		res := results[i+1]
 		t.Addf(cool, res.SlowdownPctVs(base), res.SavingsPct(), res.Faults)
 	}
 	return t, nil
@@ -239,23 +230,28 @@ func WindowAblation(s Scale) (*Table, error) {
 		Headers: []string{"ops_per_window", "slowdown_pct", "tco_savings_pct", "migrations"},
 	}
 	spec := workloadByName("Memcached/YCSB")
-	for _, factor := range []int{1, 2, 4} {
+	factors := []int{1, 2, 4}
+	var jobs []runJob
+	for _, factor := range factors {
 		sc := s
 		sc.OpsPerWindow = s.OpsPerWindow / factor
 		sc.Windows = s.Windows * factor
-		base, err := runOne(sc, spec, nil, standardManager)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runOne(sc, spec, &model.Waterfall{Pct: 25}, standardManager)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			runJob{spec: spec, scale: &sc},
+			runJob{spec: spec, scale: &sc, mdl: &model.Waterfall{Pct: 25}},
+		)
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, factor := range factors {
+		base, res := results[2*i], results[2*i+1]
 		var moves int
 		for _, w := range res.Windows {
 			moves += w.Moves
 		}
-		t.Addf(sc.OpsPerWindow, res.SlowdownPctVs(base), res.SavingsPct(), moves)
+		t.Addf(s.OpsPerWindow/factor, res.SlowdownPctVs(base), res.SavingsPct(), moves)
 	}
 	return t, nil
 }
@@ -277,33 +273,28 @@ func TelemetryAblation(s Scale) (*Table, error) {
 		Headers: []string{"telemetry", "slowdown_pct", "tco_savings_pct", "profiling_ms"},
 	}
 	spec := workloadByName("Memcached/YCSB")
-	base, err := runOne(s, spec, nil, standardManager)
-	if err != nil {
-		return nil, err
-	}
-	for _, cfg := range []struct {
+	sources := []struct {
 		name string
 		abit bool
 	}{
 		{"pebs", false},
 		{"accessed-bit", true},
-	} {
-		wl := spec.New(s)
-		m, err := standardManager(wl, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(sim.Config{
-			Manager: m, Workload: wl,
-			Model:              &model.Analytical{Alpha: 0.3, ModelName: "AM"},
-			OpsPerWindow:       s.OpsPerWindow,
-			Windows:            s.Windows,
-			SampleRate:         s.SampleRate,
-			AccessBitTelemetry: cfg.abit,
+	}
+	jobs := []runJob{{spec: spec}}
+	for _, cfg := range sources {
+		abit := cfg.abit
+		jobs = append(jobs, runJob{spec: spec,
+			mdl: &model.Analytical{Alpha: 0.3, ModelName: "AM"},
+			cfg: func(c *sim.Config) { c.AccessBitTelemetry = abit },
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runJobs(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, cfg := range sources {
+		res := results[i+1]
 		// Profiling tax approximated from the daemon totals minus solver.
 		var solver float64
 		for _, w := range res.Windows {

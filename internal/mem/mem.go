@@ -16,11 +16,17 @@
 // regenerated on demand when compressed; writes bump the version. This
 // keeps multi-GB-scale simulated footprints cheap while compression ratios
 // remain grounded in real compressed bytes.
+//
+// A Manager is not safe for concurrent use by multiple goroutines, but
+// distinct Managers share no mutable state: page work buffers come from a
+// sync.Pool rather than per-manager scratch, so one manager per goroutine
+// (the parallel experiment runner's layout) is race-free by construction.
 package mem
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"tierscape/internal/compress"
 	"tierscape/internal/corpus"
@@ -135,9 +141,27 @@ type Manager struct {
 	migratedIn map[TierID]int64
 	migrations int64
 	rejects    int64
-
-	scratch []byte
 }
+
+// pageBufPool recycles page-sized work buffers across Access and
+// MigratePage calls. Managers used to share one persistent scratch slice
+// between content(), the fault path and the migration paths, which handed
+// every caller the same backing array — a latent aliasing bug the moment
+// any caller held two results, and a data race once experiment runs fan
+// out across goroutines. Pooled per-call buffers keep each operation's
+// bytes private while staying allocation-free on the hot path. A single
+// Manager is still not safe for concurrent use; the pool makes distinct
+// managers on distinct goroutines (the parallel experiment runner's
+// layout) share nothing.
+var pageBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, PageSize)
+		return &b
+	},
+}
+
+func getPageBuf() *[]byte  { return pageBufPool.Get().(*[]byte) }
+func putPageBuf(b *[]byte) { pageBufPool.Put(b) }
 
 // NewManager builds a manager with all pages initially resident in DRAM.
 func NewManager(cfg Config) (*Manager, error) {
@@ -218,13 +242,11 @@ func (m *Manager) ct(id TierID) (*ctTier, bool) {
 	return m.cts[i], true
 }
 
-// content regenerates page p's current bytes into the manager's scratch
-// buffer (valid until the next call).
-func (m *Manager) content(p PageID) []byte {
-	if cap(m.scratch) < PageSize {
-		m.scratch = make([]byte, PageSize)
-	}
-	buf := m.scratch[:PageSize]
+// content regenerates page p's current bytes into buf, which must have
+// capacity for at least PageSize bytes, and returns the filled slice. The
+// caller owns the buffer, so two results never alias each other.
+func (m *Manager) content(p PageID, buf []byte) []byte {
+	buf = buf[:PageSize]
 	e := &m.ptes[p]
 	// Mix the version into the generator index so writes change content
 	// while keeping the page's compressibility profile.
@@ -259,7 +281,10 @@ func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
 	}
 	if ct, ok := m.ct(e.tier); ok {
 		// Fault path: decompress and promote.
-		_, loadNs, err := ct.tier.Load(e.handle, m.scratchReset())
+		buf := getPageBuf()
+		out, loadNs, err := ct.tier.Load(e.handle, (*buf)[:0])
+		*buf = out[:0]
+		putPageBuf(buf)
 		if err != nil {
 			return AccessResult{}, fmt.Errorf("mem: fault on page %d: %w", p, err)
 		}
@@ -287,13 +312,6 @@ func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
 	return AccessResult{LatencyNs: b.info.AccessNs, Tier: e.tier}, nil
 }
 
-func (m *Manager) scratchReset() []byte {
-	if cap(m.scratch) < PageSize {
-		m.scratch = make([]byte, 0, PageSize)
-	}
-	return m.scratch[:0]
-}
-
 // pickFaultDestination returns DRAM if it has room, else the first
 // byte-addressable tier with room, else DRAM regardless (unbounded model).
 func (m *Manager) pickFaultDestination() TierID {
@@ -309,8 +327,11 @@ func (m *Manager) pickFaultDestination() TierID {
 type MigrationResult struct {
 	// Moved is the number of pages that reached the destination.
 	Moved int
-	// Rejected is the number of pages rejected as incompressible (they
-	// remain in their source tier, or move to the fallback tier if set).
+	// Rejected is the number of pages that did not reach the destination
+	// but were placed somewhere definite anyway: incompressible pages
+	// (they remain in their source tier, or move to the fallback tier),
+	// and pages displaced to the fault destination because a full
+	// byte-addressable destination could not take them.
 	Rejected int
 	// Skipped counts pages already in the destination tier.
 	Skipped int
@@ -336,13 +357,21 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 
 	var res MigrationResult
 
+	// One pooled work buffer serves the whole call; the pool's Store paths
+	// copy bytes out, so the buffer never escapes.
+	bufp := getPageBuf()
+	defer putPageBuf(bufp)
+
 	// Same-codec fast path (§7.1): between two compressed tiers using the
 	// same compression algorithm, move the compressed object directly —
 	// no decompression, no recompression.
 	if srcCT, ok := m.ct(e.tier); ok {
 		if dstCT, ok2 := m.ct(dest); ok2 &&
 			srcCT.tier.Config().Codec == dstCT.tier.Config().Codec {
-			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, m.scratchReset())
+			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, (*bufp)[:0])
+			if cap(comp) > cap(*bufp) {
+				*bufp = comp[:0]
+			}
 			if err != nil {
 				return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
 			}
@@ -371,7 +400,10 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 	// 1. Extract the page from its source tier (content + read latency).
 	var pageBytes []byte
 	if ct, ok := m.ct(e.tier); ok {
-		out, loadNs, err := ct.tier.Load(e.handle, m.scratchReset())
+		out, loadNs, err := ct.tier.Load(e.handle, (*bufp)[:0])
+		if cap(out) > cap(*bufp) {
+			*bufp = out[:0]
+		}
 		if err != nil {
 			return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
 		}
@@ -386,7 +418,7 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 		src := m.ba[e.tier]
 		res.LatencyNs += media.ReadCostNs(src.info.Media, PageSize)
 		src.pages--
-		pageBytes = m.content(p)
+		pageBytes = m.content(p, *bufp)
 	}
 
 	// 2. Insert into the destination tier.
@@ -421,10 +453,12 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 				m.ba[e.tier].pages++
 			} else {
 				// Page was already extracted from a compressed tier; place
-				// it at the fault destination instead of losing it.
+				// it at the fault destination instead of losing it, and
+				// count it rejected like the compressed-tier fallback path.
 				fb := m.pickFaultDestination()
 				m.ba[fb].pages++
 				e.tier = fb
+				res.Rejected = 1
 			}
 			return res, ErrTierFull
 		}
@@ -440,6 +474,12 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 
 // MigrateRegion moves every page of region r to tier dest, accumulating
 // the per-page results. TS-Daemon migrates at this 2 MB granularity (§7.2).
+//
+// A destination that fills mid-region does not abort the sweep: later
+// pages may still be skipped (already resident in dest) or placed at a
+// fallback tier, and their outcomes accumulate like any other page's.
+// The full-tier condition is reported once, as ErrTierFull, after the
+// whole region has been processed; the result is valid alongside it.
 func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error) {
 	var total MigrationResult
 	start := PageID(r) * RegionPages
@@ -450,19 +490,22 @@ func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error
 	if start < 0 || start >= PageID(m.numPages) {
 		return total, ErrBadPage
 	}
+	full := false
 	for p := start; p < end; p++ {
 		res, err := m.MigratePage(p, dest)
 		total.Moved += res.Moved
 		total.Rejected += res.Rejected
 		total.Skipped += res.Skipped
 		total.LatencyNs += res.LatencyNs
-		if err != nil && !errors.Is(err, ErrTierFull) {
+		switch {
+		case errors.Is(err, ErrTierFull):
+			full = true
+		case err != nil:
 			return total, err
 		}
-		if errors.Is(err, ErrTierFull) {
-			// Destination filled mid-region: stop moving the rest.
-			return total, err
-		}
+	}
+	if full {
+		return total, ErrTierFull
 	}
 	return total, nil
 }
@@ -546,8 +589,9 @@ func (m *Manager) SampleRegionRatio(r RegionID, codecName string, samples int) (
 	}
 	var orig, comp int64
 	var buf []byte
+	page := make([]byte, PageSize)
 	for p := start; p < end; p += PageID(stride) {
-		data := m.content(p)
+		data := m.content(p, page)
 		buf = codec.Compress(buf[:0], data)
 		orig += int64(len(data))
 		size := int64(len(buf))

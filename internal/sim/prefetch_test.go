@@ -20,7 +20,7 @@ func TestPrefetcherReducesFaultLatency(t *testing.T) {
 			Model:                  &model.Analytical{Alpha: 0.1, ModelName: "AM-TCO"},
 			OpsPerWindow:           5000,
 			Windows:                6,
-			SampleRate:             20,
+			SampleRate:             Int(20),
 			PrefetchFaultThreshold: threshold,
 		})
 		if err != nil {
@@ -56,9 +56,9 @@ func TestPushThreadsReduceInterference(t *testing.T) {
 			Model:        &model.Waterfall{Pct: 50},
 			OpsPerWindow: 5000,
 			Windows:      5,
-			SampleRate:   20,
+			SampleRate:   Int(20),
 			PushThreads:  threads,
-			Interference: 0.2, // exaggerate so the effect is measurable
+			Interference: Float(0.2), // exaggerate so the effect is measurable
 		})
 		if err != nil {
 			t.Fatal(err)

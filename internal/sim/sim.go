@@ -44,14 +44,19 @@ type Config struct {
 	OpsPerWindow int
 	// Windows is how many profile windows to run.
 	Windows int
-	// SampleRate overrides the profiler's sampling period (0 = default
-	// 1-in-5000; tests use smaller workloads and denser sampling).
-	SampleRate int
-	// Cooling overrides the profiler's cooling factor (0 = default 0.5).
-	Cooling float64
+	// SampleRate overrides the profiler's sampling period; nil uses the
+	// default 1-in-5000 (tests use smaller workloads and denser sampling).
+	// Must be >= 1 when set. Use Int to build the pointer inline.
+	SampleRate *int
+	// Cooling overrides the profiler's cooling factor; nil uses the
+	// default 0.5. An explicit 0 is honored: hotness fully resets each
+	// window. Use Float to build the pointer inline.
+	Cooling *float64
 	// Interference is the fraction of daemon work that steals application
-	// time (cache/bandwidth contention from push threads). Default 0.02.
-	Interference float64
+	// time (cache/bandwidth contention from push threads); nil uses the
+	// default 0.02. An explicit 0 is honored: daemon work then never
+	// bleeds into application time. Use Float to build the pointer inline.
+	Interference *float64
 	// PushThreads is how many daemon threads apply migrations in parallel
 	// (the artifact's PT parameter; default 2). Migration wall-clock time
 	// divides by it; total daemon work does not.
@@ -67,6 +72,15 @@ type Config struct {
 	// tax scales with memory size instead of access rate.
 	AccessBitTelemetry bool
 }
+
+// Int returns a pointer to v, for Config's optional int fields. The
+// pointer form distinguishes "explicitly zero" from "use the default",
+// which a plain zero value could not (the old fields silently treated an
+// explicit 0 as "default").
+func Int(v int) *int { return &v }
+
+// Float returns a pointer to v, for Config's optional float fields.
+func Float(v float64) *float64 { return &v }
 
 // WindowRecord captures one profile window's outcome.
 type WindowRecord struct {
@@ -159,9 +173,19 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: workload needs %d pages but manager has %d",
 			cfg.Workload.NumPages(), cfg.Manager.NumPages())
 	}
-	interference := cfg.Interference
-	if interference == 0 {
-		interference = 0.02
+	interference := 0.02
+	if cfg.Interference != nil {
+		if *cfg.Interference < 0 {
+			return nil, fmt.Errorf("sim: Interference must be >= 0, got %v", *cfg.Interference)
+		}
+		interference = *cfg.Interference
+	}
+	sampleRate := 0 // 0 lets the profiler pick its default
+	if cfg.SampleRate != nil {
+		if *cfg.SampleRate < 1 {
+			return nil, fmt.Errorf("sim: SampleRate must be >= 1, got %d", *cfg.SampleRate)
+		}
+		sampleRate = *cfg.SampleRate
 	}
 	pushThreads := cfg.PushThreads
 	if pushThreads <= 0 {
@@ -175,7 +199,7 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		prof, err = telemetry.NewProfiler(telemetry.Config{
 			NumRegions: cfg.Manager.NumRegions(),
-			SampleRate: cfg.SampleRate,
+			SampleRate: sampleRate,
 			Cooling:    cfg.Cooling,
 		})
 	}
@@ -225,8 +249,8 @@ func Run(cfg Config) (*Result, error) {
 					if regionFaults[r] == cfg.PrefetchFaultThreshold {
 						// Prefetch: the daemon decompresses the rest of the
 						// region ahead of the application's accesses.
-						mr, err := m.MigrateRegion(r, mem.DRAMTier)
-						if err != nil && !errors.Is(err, mem.ErrTierFull) {
+						mr, err := migrateRegion(m, r, mem.DRAMTier)
+						if err != nil {
 							return nil, fmt.Errorf("sim: prefetch window %d: %w", w, err)
 						}
 						prefetchNs += mr.LatencyNs
@@ -247,13 +271,13 @@ func Run(cfg Config) (*Result, error) {
 			plan := filter.Apply(m, r, profile)
 			var migNs float64
 			for _, mv := range plan.Moves {
-				mr, err := m.MigrateRegion(mv.Region, mv.Dest)
+				mr, err := migrateRegion(m, mv.Region, mv.Dest)
+				if err != nil {
+					return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
+				}
 				migNs += mr.LatencyNs
 				rec.Moves += mr.Moved
 				rec.Rejected += mr.Rejected
-				if err != nil && !errors.Is(err, mem.ErrTierFull) {
-					return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
-				}
 			}
 			// Post-migration pool compaction (zs_compact): churned tiers
 			// return empty zspages.
@@ -296,6 +320,19 @@ func Run(cfg Config) (*Result, error) {
 	res.FinalTCO = tco.Current(m)
 	res.Faults = m.Counters().Faults
 	return res, nil
+}
+
+// migrateRegion applies one region migration for the daemon, with the
+// plan and prefetch paths sharing a single error policy: hard errors are
+// classified before any result field is read, and a full destination
+// (mem.ErrTierFull) is not fatal — the manager completes the sweep and
+// its partial accounting (latency, moved, rejected) remains valid.
+func migrateRegion(m *mem.Manager, r mem.RegionID, dest mem.TierID) (mem.MigrationResult, error) {
+	mr, err := m.MigrateRegion(r, dest)
+	if err != nil && !errors.Is(err, mem.ErrTierFull) {
+		return mem.MigrationResult{}, err
+	}
+	return mr, nil
 }
 
 // recommendedPages converts a recommendation into pages-per-tier,

@@ -39,7 +39,7 @@ func run(t *testing.T, wl workload.Workload, mdl model.Model) *Result {
 		Model:        mdl,
 		OpsPerWindow: 5000,
 		Windows:      6,
-		SampleRate:   20,
+		SampleRate:   Int(20),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +226,114 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestInterferenceZeroChargesNothing(t *testing.T) {
+	// Regression for the zero-value ambiguity: Interference is optional,
+	// and an explicit 0 must charge no daemon interference rather than
+	// silently falling back to the 2% default.
+	mk := func(interference *float64) *Result {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*mem.RegionPages, 1)
+		res, err := Run(Config{
+			Manager:      standardMix(t, wl),
+			Workload:     wl,
+			Model:        &model.Analytical{Alpha: 0.3, ModelName: "AM"},
+			OpsPerWindow: 5000,
+			Windows:      4,
+			SampleRate:   Int(20),
+			Interference: interference,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	zero, def, high := mk(Float(0)), mk(nil), mk(Float(0.5))
+
+	// Interference only taxes application time; it must not change the
+	// daemon's behaviour or the resulting placement.
+	if zero.Faults != def.Faults || zero.DaemonNs != def.DaemonNs {
+		t.Fatalf("interference changed behaviour: faults %d/%d daemon %v/%v",
+			zero.Faults, def.Faults, zero.DaemonNs, def.DaemonNs)
+	}
+	if zero.DaemonNs <= 0 {
+		t.Fatal("daemon did no work; test exercises nothing")
+	}
+	// Explicit zero is cheaper than the nil default (2%), which is cheaper
+	// than an explicit 50%.
+	if !(zero.AppNs < def.AppNs && def.AppNs < high.AppNs) {
+		t.Fatalf("AppNs ordering wrong: zero=%v default=%v high=%v",
+			zero.AppNs, def.AppNs, high.AppNs)
+	}
+	// With zero interference, application time is exactly the op latencies:
+	// no daemon time leaks in (tolerance covers summation-order rounding).
+	opSum := zero.OpLat.Sum()
+	if diff := zero.AppNs - opSum; diff > 1e-6*opSum || diff < -1e-6*opSum {
+		t.Fatalf("zero interference still charged daemon time: AppNs=%v opSum=%v", zero.AppNs, opSum)
+	}
+}
+
+func TestRecommendedPagesPartialFinalRegion(t *testing.T) {
+	// recommendedPages must credit the final region with only its actual
+	// page count when NumPages is not a multiple of RegionPages.
+	cases := []struct {
+		name     string
+		numPages int64
+		dest     []mem.TierID
+		want     map[mem.TierID]int64
+	}{
+		{
+			name:     "exact multiple",
+			numPages: 2 * mem.RegionPages,
+			dest:     []mem.TierID{2, 2},
+			want:     map[mem.TierID]int64{2: 2 * mem.RegionPages},
+		},
+		{
+			name:     "partial final region to its own tier",
+			numPages: 2*mem.RegionPages + 7,
+			dest:     []mem.TierID{0, 1, 3},
+			want:     map[mem.TierID]int64{0: mem.RegionPages, 1: mem.RegionPages, 3: 7},
+		},
+		{
+			name:     "single partial region",
+			numPages: 5,
+			dest:     []mem.TierID{1},
+			want:     map[mem.TierID]int64{1: 5},
+		},
+		{
+			name:     "partial final region shares a tier",
+			numPages: mem.RegionPages + 1,
+			dest:     []mem.TierID{0, 0},
+			want:     map[mem.TierID]int64{0: mem.RegionPages + 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := mem.NewManager(mem.Config{
+				NumPages:        tc.numPages,
+				Content:         corpus.NewGenerator(corpus.NCI, 1),
+				ByteTiers:       []media.Kind{media.NVMM},
+				CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := recommendedPages(m, model.Recommendation{Dest: tc.dest})
+			if len(out) != len(m.Tiers()) {
+				t.Fatalf("len(out) = %d, want %d", len(out), len(m.Tiers()))
+			}
+			var total int64
+			for tier, n := range out {
+				total += n
+				if want := tc.want[mem.TierID(tier)]; n != want {
+					t.Errorf("tier %d: got %d pages, want %d", tier, n, want)
+				}
+			}
+			if total != tc.numPages {
+				t.Errorf("pages credited = %d, want NumPages = %d", total, tc.numPages)
+			}
+		})
+	}
+}
+
 func TestAccessBitTelemetryDrivesModels(t *testing.T) {
 	wl := smallKV(t)
 	res, err := Run(Config{
@@ -257,7 +365,7 @@ func TestAccessBitTelemetryDrivesModels(t *testing.T) {
 		Model:        &model.Analytical{Alpha: 0.3, ModelName: "AM"},
 		OpsPerWindow: 5000,
 		Windows:      5,
-		SampleRate:   20,
+		SampleRate:   Int(20),
 	})
 	if err != nil {
 		t.Fatal(err)

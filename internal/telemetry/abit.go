@@ -49,20 +49,22 @@ type ABitScanner struct {
 const ABitScanNsPerPage = 10
 
 // NewABitScanner returns an accessed-bit telemetry source for numPages
-// pages grouped into the given number of regions.
-func NewABitScanner(numPages, numRegions int64, cooling float64) (*ABitScanner, error) {
+// pages grouped into the given number of regions. A nil cooling uses
+// DefaultCooling; an explicit 0 disables history carry-over.
+func NewABitScanner(numPages, numRegions int64, cooling *float64) (*ABitScanner, error) {
 	if numPages <= 0 || numRegions <= 0 {
 		return nil, fmt.Errorf("telemetry: invalid abit geometry (%d pages, %d regions)", numPages, numRegions)
 	}
-	if cooling == 0 {
-		cooling = DefaultCooling
+	c := DefaultCooling
+	if cooling != nil {
+		c = *cooling
 	}
-	if cooling < 0 || cooling >= 1 {
-		return nil, fmt.Errorf("telemetry: Cooling must be in [0,1), got %v", cooling)
+	if c < 0 || c >= 1 {
+		return nil, fmt.Errorf("telemetry: Cooling must be in [0,1), got %v", c)
 	}
 	return &ABitScanner{
 		numPages: numPages,
-		cooling:  cooling,
+		cooling:  c,
 		bits:     make([]bool, numPages),
 		hotness:  make([]float64, numRegions),
 	}, nil

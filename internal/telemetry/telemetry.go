@@ -33,14 +33,20 @@ type Config struct {
 	NumRegions int64
 	// SampleRate samples one in SampleRate accesses (default 5000).
 	SampleRate int
-	// Cooling multiplies prior hotness at each window boundary (default
-	// 0.5; must be in [0,1)).
-	Cooling float64
+	// Cooling multiplies prior hotness at each window boundary; nil uses
+	// DefaultCooling. An explicit 0 is honored (no history: every window
+	// starts cold), which a plain float64 field could not express. Must be
+	// in [0,1). Use Float to build the pointer inline.
+	Cooling *float64
 }
+
+// Float returns a pointer to v, for Config's optional float fields.
+func Float(v float64) *float64 { return &v }
 
 // Profiler accumulates sampled access counts per region.
 type Profiler struct {
 	cfg      Config
+	cooling  float64   // resolved from cfg.Cooling (nil = DefaultCooling)
 	window   []int64   // samples in the current window, per region
 	hotness  []float64 // cooled cumulative hotness, per region
 	accesses int64     // accesses seen in current window
@@ -59,14 +65,16 @@ func NewProfiler(cfg Config) (*Profiler, error) {
 	if cfg.SampleRate <= 0 {
 		cfg.SampleRate = DefaultSampleRate
 	}
-	if cfg.Cooling == 0 {
-		cfg.Cooling = DefaultCooling
+	cooling := DefaultCooling
+	if cfg.Cooling != nil {
+		cooling = *cfg.Cooling
 	}
-	if cfg.Cooling < 0 || cfg.Cooling >= 1 {
-		return nil, fmt.Errorf("telemetry: Cooling must be in [0,1), got %v", cfg.Cooling)
+	if cooling < 0 || cooling >= 1 {
+		return nil, fmt.Errorf("telemetry: Cooling must be in [0,1), got %v", cooling)
 	}
 	return &Profiler{
 		cfg:     cfg,
+		cooling: cooling,
 		window:  make([]int64, cfg.NumRegions),
 		hotness: make([]float64, cfg.NumRegions),
 	}, nil
@@ -115,7 +123,7 @@ func (pr *Profiler) EndWindow() Profile {
 		Window:         pr.windows,
 	}
 	for i := range pr.hotness {
-		pr.hotness[i] = pr.hotness[i]*pr.cfg.Cooling + float64(pr.window[i])
+		pr.hotness[i] = pr.hotness[i]*pr.cooling + float64(pr.window[i])
 		p.Hotness[i] = pr.hotness[i]
 		p.WindowSamples[i] = pr.window[i]
 		pr.window[i] = 0

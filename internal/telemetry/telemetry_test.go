@@ -43,7 +43,7 @@ func TestHotnessProportionalToAccesses(t *testing.T) {
 }
 
 func TestCooling(t *testing.T) {
-	pr, _ := NewProfiler(Config{NumRegions: 1, SampleRate: 1, Cooling: 0.5})
+	pr, _ := NewProfiler(Config{NumRegions: 1, SampleRate: 1, Cooling: Float(0.5)})
 	for i := 0; i < 100; i++ {
 		pr.Record(0)
 	}
@@ -65,7 +65,7 @@ func TestCooling(t *testing.T) {
 func TestGradualAgingHotWarmCold(t *testing.T) {
 	// A region that stops being accessed must pass through intermediate
 	// hotness (warm) before becoming cold — §3.1's aging behaviour.
-	pr, _ := NewProfiler(Config{NumRegions: 2, SampleRate: 1, Cooling: 0.5})
+	pr, _ := NewProfiler(Config{NumRegions: 2, SampleRate: 1, Cooling: Float(0.5)})
 	for i := 0; i < 1000; i++ {
 		pr.Record(0)
 		pr.Record(mem.PageID(mem.RegionPages))
@@ -146,15 +146,30 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := NewProfiler(Config{NumRegions: 0}); err == nil {
 		t.Error("zero regions should fail")
 	}
-	if _, err := NewProfiler(Config{NumRegions: 1, Cooling: 1.5}); err == nil {
+	if _, err := NewProfiler(Config{NumRegions: 1, Cooling: Float(1.5)}); err == nil {
 		t.Error("cooling >= 1 should fail")
 	}
 	pr, err := NewProfiler(Config{NumRegions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pr.cfg.SampleRate != DefaultSampleRate || pr.cfg.Cooling != DefaultCooling {
+	if pr.cfg.SampleRate != DefaultSampleRate || pr.cooling != DefaultCooling {
 		t.Error("defaults not applied")
+	}
+	// Explicit zero cooling is honored, not silently replaced by the
+	// default: hotness must fully reset between windows.
+	zero, err := NewProfiler(Config{NumRegions: 1, SampleRate: 1, Cooling: Float(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.cooling != 0 {
+		t.Fatalf("cooling = %v, want explicit 0", zero.cooling)
+	}
+	zero.Record(0)
+	first := zero.EndWindow()
+	second := zero.EndWindow()
+	if first.Hotness[0] == 0 || second.Hotness[0] != 0 {
+		t.Fatalf("zero cooling did not reset history: %v -> %v", first.Hotness[0], second.Hotness[0])
 	}
 }
 

@@ -207,16 +207,19 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sim.Config{
+	scfg := sim.Config{
 		Manager:                m,
 		Workload:               cfg.Workload,
 		Model:                  cfg.Model,
 		Windows:                cfg.Windows,
 		OpsPerWindow:           cfg.OpsPerWindow,
-		SampleRate:             cfg.SampleRate,
 		PushThreads:            cfg.PushThreads,
 		PrefetchFaultThreshold: cfg.PrefetchFaultThreshold,
-	})
+	}
+	if cfg.SampleRate > 0 {
+		scfg.SampleRate = sim.Int(cfg.SampleRate)
+	}
+	return sim.Run(scfg)
 }
 
 // MasimWorkload returns the artifact's masim microbenchmark: three
