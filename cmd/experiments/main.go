@@ -9,6 +9,8 @@
 //	experiments -fig 2 -csv              # Figure 2 as CSV
 //	experiments -fig 7 -parallel 4       # bound the worker pool (tables are
 //	                                     # identical at every -parallel value)
+//	experiments -fig 7 -push 8           # intra-run push threads (tables are
+//	                                     # identical at every -push value too)
 //
 // Exhibits: 1, 2, 7, 8, 9, 10, 11, 12, 13, 14, table1, ablations.
 package main
@@ -27,8 +29,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	plot := flag.Bool("plot", false, "also render scatter plots for slowdown-vs-savings exhibits (7, 10, 13)")
 	par := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS); output is identical at any setting")
+	push := flag.Int("push", 0, "push threads applying migrations inside each run (0 = sim default); output is identical at any setting")
 	flag.Parse()
 	experiments.SetParallelism(*par)
+	experiments.SetPushThreads(*push)
 
 	var s experiments.Scale
 	switch *scale {

@@ -36,7 +36,7 @@ func main() {
 	pages := flag.Int64("pages", 16*tierscape.RegionPages, "workload footprint in 4 KB pages")
 	seed := flag.Uint64("seed", 42, "random seed")
 	prefetch := flag.Int("prefetch", 0, "prefetcher fault threshold per region per window (0 = off)")
-	push := flag.Int("push", 2, "daemon push threads applying migrations")
+	push := flag.Int("push", 2, "push threads applying migrations (results identical at any value)")
 	record := flag.String("record", "", "record the access trace to this file while running")
 	replay := flag.String("replay", "", "replay a recorded trace file as the workload")
 	flag.Parse()

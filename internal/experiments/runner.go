@@ -40,6 +40,25 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// pushThreads is the intra-run migration apply concurrency applied to
+// every job; 0 means the sim default.
+var pushThreads atomic.Int64
+
+// SetPushThreads sets how many push threads each run's migration engine
+// uses (sim.Config.PushThreads). n < 1 restores the sim default. Tables
+// are byte-identical at every setting — the engine's determinism contract
+// — so this, like SetParallelism, is purely a wall-clock knob.
+func SetPushThreads(n int) {
+	if n < 1 {
+		n = 0
+	}
+	pushThreads.Store(int64(n))
+}
+
+// PushThreads reports the configured intra-run apply concurrency
+// (0 = sim default).
+func PushThreads() int { return int(pushThreads.Load()) }
+
 // RunSet executes n independent jobs across Parallelism() workers and
 // blocks until all complete. Jobs are dispatched by index; every job runs
 // exactly once even when some fail. The returned error is deterministic
@@ -121,6 +140,9 @@ func (j runJob) run(s Scale) (*sim.Result, error) {
 		OpsPerWindow: s.OpsPerWindow,
 		Windows:      s.Windows,
 		SampleRate:   sim.Int(s.SampleRate),
+	}
+	if n := PushThreads(); n > 0 {
+		cfg.PushThreads = sim.Int(n)
 	}
 	if j.cfg != nil {
 		j.cfg(&cfg)

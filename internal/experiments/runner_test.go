@@ -162,3 +162,37 @@ func TestFig2ParallelSerialIdentical(t *testing.T) {
 		t.Fatal("Fig2 tables differ between serial and parallel execution")
 	}
 }
+
+// withPushThreads runs f with every run's migration engine pinned to n
+// push threads, restoring the sim default afterwards.
+func withPushThreads(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetPushThreads(n)
+	defer SetPushThreads(0)
+	f()
+}
+
+// TestConcurrentPushThreadsIdenticalTables extends the engine's
+// determinism guarantee to intra-run parallelism: the standard harness
+// (the Fig-5/10 knob sweep — Waterfall plus AM at five α values) must
+// emit byte-identical tables whether each run applies its migrations with
+// 1, 2 or 8 real push threads. Runs under -race in CI.
+func TestConcurrentPushThreadsIdenticalTables(t *testing.T) {
+	s := SmallScale()
+	tables := make(map[int]string)
+	for _, threads := range []int{1, 2, 8} {
+		withPushThreads(t, threads, func() {
+			tab, err := Fig10(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables[threads] = tab.CSV()
+		})
+	}
+	for _, threads := range []int{2, 8} {
+		if tables[threads] != tables[1] {
+			t.Fatalf("Fig10 table differs between PushThreads 1 and %d:\nPT1:\n%s\nPT%d:\n%s",
+				threads, tables[1], threads, tables[threads])
+		}
+	}
+}

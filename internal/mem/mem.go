@@ -17,16 +17,28 @@
 // keeps multi-GB-scale simulated footprints cheap while compression ratios
 // remain grounded in real compressed bytes.
 //
-// A Manager is not safe for concurrent use by multiple goroutines, but
-// distinct Managers share no mutable state: page work buffers come from a
-// sync.Pool rather than per-manager scratch, so one manager per goroutine
-// (the parallel experiment runner's layout) is race-free by construction.
+// A Manager is safe for concurrent use. Page-table state is guarded by a
+// striped per-region lock, tier pools are guarded inside ztier, and every
+// counter (including per-tier residency) is an atomic, so concurrent
+// MigrateRegion/MigratePage/Access calls from the simulator's push threads
+// stay exact. Admission against capacity bounds is a reservation
+// (compare-and-swap for byte-addressable tiers, under the tier lock for
+// compressed tiers), so no tier ever exceeds its budget even transiently.
+//
+// For deterministic parallelism, region migration additionally splits into
+// PrepareRegionMigration (pure compute: decompress + compress, safe to run
+// concurrently) and CommitRegionMigration (all state changes and placement
+// decisions). Committing prepared regions in a fixed order reproduces the
+// serial MigrateRegion outcome bit-for-bit regardless of how many
+// goroutines ran the prepare half — the contract sim.Run's push-thread
+// pool is built on.
 package mem
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tierscape/internal/compress"
 	"tierscape/internal/corpus"
@@ -92,14 +104,29 @@ type TierInfo struct {
 // baTier is a byte-addressable tier's state.
 type baTier struct {
 	info  TierInfo
-	pages int64 // resident pages
+	pages atomic.Int64 // resident pages
+}
+
+// tryReserve atomically claims one page of capacity. It fails only when
+// the tier is bounded and full, so a successful reservation can never push
+// residency past CapacityPages, no matter how many goroutines race.
+func (b *baTier) tryReserve() bool {
+	for {
+		cur := b.pages.Load()
+		if b.info.CapacityPages != 0 && cur >= b.info.CapacityPages {
+			return false
+		}
+		if b.pages.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
 }
 
 // ctTier wraps a compressed tier.
 type ctTier struct {
 	info  TierInfo
 	tier  *ztier.Tier
-	pages int64
+	pages atomic.Int64
 }
 
 // pte is a page-table entry.
@@ -125,6 +152,10 @@ type Config struct {
 	CompressedTiers []ztier.Config
 }
 
+// regionLockStripes bounds the striped region-lock array; small managers
+// get one lock per region, large ones share stripes.
+const regionLockStripes = 256
+
 // Manager is the tiered memory manager.
 type Manager struct {
 	numPages int64
@@ -136,11 +167,17 @@ type Manager struct {
 
 	tiers []TierInfo // all tiers by TierID
 
+	// regionMu stripes page-table access by region: every pte read/write
+	// happens under the owning region's lock. Lock order is always
+	// region lock → tier lock (inside ztier); no path holds two region
+	// locks, so the striping cannot deadlock.
+	regionMu []sync.RWMutex
+
 	// counters
-	faults     int64 // compressed-tier faults (on-demand decompressions)
-	migratedIn map[TierID]int64
-	migrations int64
-	rejects    int64
+	faults     atomic.Int64 // compressed-tier faults (on-demand decompressions)
+	migrations atomic.Int64
+	rejects    atomic.Int64
+	migratedIn []atomic.Int64 // by TierID
 }
 
 // pageBufPool recycles page-sized work buffers across Access and
@@ -149,10 +186,8 @@ type Manager struct {
 // every caller the same backing array — a latent aliasing bug the moment
 // any caller held two results, and a data race once experiment runs fan
 // out across goroutines. Pooled per-call buffers keep each operation's
-// bytes private while staying allocation-free on the hot path. A single
-// Manager is still not safe for concurrent use; the pool makes distinct
-// managers on distinct goroutines (the parallel experiment runner's
-// layout) share nothing.
+// bytes private, both across managers and across one manager's concurrent
+// push threads, while staying allocation-free on the hot path.
 var pageBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, PageSize)
@@ -172,10 +207,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, errors.New("mem: Config.Content is required")
 	}
 	m := &Manager{
-		numPages:   cfg.NumPages,
-		gen:        cfg.Content,
-		ptes:       make([]pte, cfg.NumPages),
-		migratedIn: make(map[TierID]int64),
+		numPages: cfg.NumPages,
+		gen:      cfg.Content,
+		ptes:     make([]pte, cfg.NumPages),
 	}
 	addBA := func(k media.Kind, capacity int64) {
 		id := TierID(len(m.tiers))
@@ -208,9 +242,20 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.cts = append(m.cts, &ctTier{info: info, tier: zt})
 		m.tiers = append(m.tiers, info)
 	}
+	m.migratedIn = make([]atomic.Int64, len(m.tiers))
+	stripes := m.NumRegions()
+	if stripes > regionLockStripes {
+		stripes = regionLockStripes
+	}
+	m.regionMu = make([]sync.RWMutex, stripes)
 	// All pages start in DRAM.
-	m.ba[0].pages = cfg.NumPages
+	m.ba[0].pages.Store(cfg.NumPages)
 	return m, nil
+}
+
+// regionLock returns the lock stripe owning region r.
+func (m *Manager) regionLock(r RegionID) *sync.RWMutex {
+	return &m.regionMu[int64(r)%int64(len(m.regionMu))]
 }
 
 // NumPages returns the address-space size in pages.
@@ -230,7 +275,23 @@ func (m *Manager) Tiers() []TierInfo {
 
 // TierOf returns the tier currently holding page p.
 func (m *Manager) TierOf(p PageID) TierID {
+	mu := m.regionLock(p.Region())
+	mu.RLock()
+	defer mu.RUnlock()
 	return m.ptes[p].tier
+}
+
+// SetCompressedTierLimit bounds compressed tier id's physical footprint to
+// poolPages pool pages (0 removes the bound) — zswap's max_pool_percent
+// knob surfaced at the manager level, for experiments that squeeze
+// demotions into a nearly-full tier.
+func (m *Manager) SetCompressedTierLimit(id TierID, poolPages int) error {
+	ct, ok := m.ct(id)
+	if !ok {
+		return ErrNoSuchTier
+	}
+	ct.tier.SetMaxPoolPages(poolPages)
+	return nil
 }
 
 // isCT reports whether id refers to a compressed tier and returns it.
@@ -244,7 +305,9 @@ func (m *Manager) ct(id TierID) (*ctTier, bool) {
 
 // content regenerates page p's current bytes into buf, which must have
 // capacity for at least PageSize bytes, and returns the filled slice. The
-// caller owns the buffer, so two results never alias each other.
+// caller owns the buffer, so two results never alias each other. Callers
+// must hold the page's region lock (the version read races with writes
+// otherwise).
 func (m *Manager) content(p PageID, buf []byte) []byte {
 	buf = buf[:PageSize]
 	e := &m.ptes[p]
@@ -275,6 +338,9 @@ func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
 	if p < 0 || p >= PageID(m.numPages) {
 		return AccessResult{}, ErrBadPage
 	}
+	mu := m.regionLock(p.Region())
+	mu.Lock()
+	defer mu.Unlock()
 	e := &m.ptes[p]
 	if write {
 		e.version++
@@ -291,15 +357,13 @@ func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
 		if err := ct.tier.Free(e.handle); err != nil {
 			return AccessResult{}, fmt.Errorf("mem: freeing faulted page %d: %w", p, err)
 		}
-		ct.pages--
-		dest := m.pickFaultDestination()
-		db := m.ba[dest]
-		db.pages++
-		destWrite := media.WriteCostNs(db.info.Media, PageSize)
+		ct.pages.Add(-1)
+		dest := m.reserveFaultDestination()
+		destWrite := media.WriteCostNs(m.ba[dest].info.Media, PageSize)
 		served := e.tier
 		e.tier = dest
 		e.handle = ztier.Handle{}
-		m.faults++
+		m.faults.Add(1)
 		return AccessResult{
 			LatencyNs:  loadNs + destWrite,
 			Tier:       served,
@@ -312,14 +376,18 @@ func (m *Manager) Access(p PageID, write bool) (AccessResult, error) {
 	return AccessResult{LatencyNs: b.info.AccessNs, Tier: e.tier}, nil
 }
 
-// pickFaultDestination returns DRAM if it has room, else the first
-// byte-addressable tier with room, else DRAM regardless (unbounded model).
-func (m *Manager) pickFaultDestination() TierID {
+// reserveFaultDestination picks and atomically reserves a page of the
+// fault destination: DRAM if it has room, else the first byte-addressable
+// tier with room, else DRAM regardless (unbounded model). The reservation
+// is the capacity increment, so concurrent faults cannot race a bounded
+// tier past its budget.
+func (m *Manager) reserveFaultDestination() TierID {
 	for i, b := range m.ba {
-		if b.info.CapacityPages == 0 || b.pages < b.info.CapacityPages {
+		if b.tryReserve() {
 			return TierID(i)
 		}
 	}
+	m.ba[DRAMTier].pages.Add(1)
 	return DRAMTier
 }
 
@@ -340,90 +408,188 @@ type MigrationResult struct {
 	LatencyNs float64
 }
 
-// MigratePage moves page p to tier dest. Compressed-to-compressed moves
-// take the naive decompress-recompress path (§7.1). Incompressible pages
-// stay where they are and count as rejected.
-func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
-	if p < 0 || p >= PageID(m.numPages) {
-		return MigrationResult{}, ErrBadPage
+// preparedPage is the side-effect-free half of one page migration: every
+// decompression and compression the move will need, plus the modeled
+// latencies, with no shared state touched and no counter moved. It is
+// produced under the region's read lock and landed by commitPage under the
+// write lock.
+type preparedPage struct {
+	page PageID
+	dest TierID
+	src  TierID // e.tier observed at prepare time
+
+	skip bool
+
+	// Same-codec fast-path candidate (§7.1): the raw compressed object
+	// read from the source plus its modeled read latency.
+	fastComp []byte
+	fastNs   float64
+
+	// Generic-path materials. They are prepared eagerly when there is no
+	// fast-path candidate, and lazily at commit time when there is one
+	// but the direct store gets rejected (rare: bounded destination).
+	generic     bool
+	srcLoadNs   float64
+	destPrep    ztier.PreparedStore
+	hasDestPrep bool
+
+	bufs []*[]byte // pooled buffers backing fastComp/destPrep
+}
+
+func (pp *preparedPage) release() {
+	for _, b := range pp.bufs {
+		putPageBuf(b)
 	}
-	if int(dest) < 0 || int(dest) >= len(m.tiers) {
-		return MigrationResult{}, ErrNoSuchTier
-	}
+	pp.bufs = nil
+}
+
+// preparePage builds the prepared half of moving page p to dest. The
+// caller must hold p's region lock (read side suffices). On error every
+// pooled buffer is already released.
+func (m *Manager) preparePage(p PageID, dest TierID) (preparedPage, error) {
 	e := &m.ptes[p]
+	pp := preparedPage{page: p, dest: dest, src: e.tier}
 	if e.tier == dest {
-		return MigrationResult{Skipped: 1}, nil
+		pp.skip = true
+		return pp, nil
 	}
-
-	var res MigrationResult
-
-	// One pooled work buffer serves the whole call; the pool's Store paths
-	// copy bytes out, so the buffer never escapes.
-	bufp := getPageBuf()
-	defer putPageBuf(bufp)
-
 	// Same-codec fast path (§7.1): between two compressed tiers using the
-	// same compression algorithm, move the compressed object directly —
+	// same compression algorithm, the compressed object moves directly —
 	// no decompression, no recompression.
 	if srcCT, ok := m.ct(e.tier); ok {
 		if dstCT, ok2 := m.ct(dest); ok2 &&
 			srcCT.tier.Config().Codec == dstCT.tier.Config().Codec {
-			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, (*bufp)[:0])
-			if cap(comp) > cap(*bufp) {
-				*bufp = comp[:0]
+			buf := getPageBuf()
+			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, (*buf)[:0])
+			if cap(comp) > cap(*buf) {
+				*buf = comp[:0]
 			}
 			if err != nil {
-				return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
+				putPageBuf(buf)
+				return pp, fmt.Errorf("mem: migrating page %d: %w", p, err)
 			}
 			if direct {
-				h, storeNs, err := dstCT.tier.StoreCompressed(comp)
-				if err == nil {
-					if err := srcCT.tier.Free(e.handle); err != nil {
-						return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
-					}
-					srcCT.pages--
-					dstCT.pages++
-					e.tier = dest
-					e.handle = h
-					res.Moved = 1
-					res.LatencyNs = readNs + storeNs
-					m.migrations++
-					m.migratedIn[dest]++
-					return res, nil
-				}
-				// Destination full or rejected: fall through to the
-				// generic path, which handles fallback placement.
+				pp.fastComp = comp
+				pp.fastNs = readNs
+				pp.bufs = append(pp.bufs, buf)
+				return pp, nil
 			}
+			putPageBuf(buf)
+		}
+	}
+	if err := m.prepareGeneric(&pp); err != nil {
+		pp.release()
+		return pp, err
+	}
+	return pp, nil
+}
+
+// prepareGeneric fills pp's generic-path materials: the source extraction
+// latency (and bytes) plus the prepared destination store when the
+// destination is compressed. Caller holds the region lock.
+func (m *Manager) prepareGeneric(pp *preparedPage) error {
+	e := &m.ptes[pp.page]
+	dstCT, dstIsCT := m.ct(pp.dest)
+	var pageBytes []byte
+	if srcCT, ok := m.ct(e.tier); ok {
+		buf := getPageBuf()
+		out, loadNs, err := srcCT.tier.PrepareLoad(e.handle, (*buf)[:0])
+		if cap(out) > cap(*buf) {
+			*buf = out[:0]
+		}
+		if err != nil {
+			putPageBuf(buf)
+			return fmt.Errorf("mem: migrating page %d: %w", pp.page, err)
+		}
+		pp.bufs = append(pp.bufs, buf)
+		pp.srcLoadNs = loadNs
+		pageBytes = out
+	} else if dstIsCT {
+		buf := getPageBuf()
+		pageBytes = m.content(pp.page, *buf)
+		pp.bufs = append(pp.bufs, buf)
+	}
+	if dstIsCT {
+		cbuf := getPageBuf()
+		pp.destPrep = dstCT.tier.PrepareStore(pageBytes, *cbuf)
+		if s := pp.destPrep.Scratch(); cap(s) > cap(*cbuf) {
+			*cbuf = s[:0]
+		}
+		pp.bufs = append(pp.bufs, cbuf)
+		pp.hasDestPrep = true
+	}
+	pp.generic = true
+	return nil
+}
+
+// commitPage lands a prepared page move: every placement decision,
+// residency change and counter bump, in exactly the order the serial
+// migration path makes them. The caller must hold the page's region write
+// lock. If the page moved between prepare and commit (a concurrent fault
+// promotion under raw concurrent use), the move is re-prepared in place.
+func (m *Manager) commitPage(pp preparedPage) (MigrationResult, error) {
+	var res MigrationResult
+	e := &m.ptes[pp.page]
+	if e.tier != pp.src {
+		pp.release()
+		np, err := m.preparePage(pp.page, pp.dest)
+		if err != nil {
+			return res, err
+		}
+		pp = np
+	}
+	defer pp.release()
+	if pp.skip {
+		res.Skipped = 1
+		return res, nil
+	}
+	dstCT, dstIsCT := m.ct(pp.dest)
+
+	// Same-codec direct move.
+	if pp.fastComp != nil && dstIsCT {
+		srcCT, _ := m.ct(e.tier)
+		h, storeNs, err := dstCT.tier.StoreCompressed(pp.fastComp)
+		if err == nil {
+			if err := srcCT.tier.Free(e.handle); err != nil {
+				return res, fmt.Errorf("mem: migrating page %d: %w", pp.page, err)
+			}
+			srcCT.pages.Add(-1)
+			dstCT.pages.Add(1)
+			e.tier = pp.dest
+			e.handle = h
+			res.Moved = 1
+			res.LatencyNs = pp.fastNs + storeNs
+			m.migrations.Add(1)
+			m.migratedIn[pp.dest].Add(1)
+			return res, nil
+		}
+		// Destination full or rejected: fall through to the generic path,
+		// which handles fallback placement.
+	}
+	if !pp.generic {
+		if err := m.prepareGeneric(&pp); err != nil {
+			return res, err
 		}
 	}
 
 	// 1. Extract the page from its source tier (content + read latency).
-	var pageBytes []byte
-	if ct, ok := m.ct(e.tier); ok {
-		out, loadNs, err := ct.tier.Load(e.handle, (*bufp)[:0])
-		if cap(out) > cap(*bufp) {
-			*bufp = out[:0]
+	if srcCT, ok := m.ct(e.tier); ok {
+		srcCT.tier.CountLoad()
+		if err := srcCT.tier.Free(e.handle); err != nil {
+			return res, fmt.Errorf("mem: migrating page %d: %w", pp.page, err)
 		}
-		if err != nil {
-			return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
-		}
-		if err := ct.tier.Free(e.handle); err != nil {
-			return res, fmt.Errorf("mem: migrating page %d: %w", p, err)
-		}
-		ct.pages--
-		res.LatencyNs += loadNs
-		pageBytes = out
+		srcCT.pages.Add(-1)
+		res.LatencyNs += pp.srcLoadNs
 		e.handle = ztier.Handle{}
 	} else {
 		src := m.ba[e.tier]
 		res.LatencyNs += media.ReadCostNs(src.info.Media, PageSize)
-		src.pages--
-		pageBytes = m.content(p, *bufp)
+		src.pages.Add(-1)
 	}
 
 	// 2. Insert into the destination tier.
-	if ct, ok := m.ct(dest); ok {
-		h, storeNs, err := ct.tier.Store(pageBytes)
+	if dstIsCT {
+		h, storeNs, err := dstCT.tier.CommitStore(pp.destPrep)
 		res.LatencyNs += storeNs
 		if err != nil {
 			// Rejected (incompressible, or the tier hit its pool limit):
@@ -431,45 +597,68 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 			// the fault destination.
 			fb := e.tier
 			if _, wasCT := m.ct(fb); wasCT {
-				fb = m.pickFaultDestination()
+				fb = m.reserveFaultDestination()
+			} else {
+				m.ba[fb].pages.Add(1)
 			}
-			b := m.ba[fb]
-			b.pages++
 			e.tier = fb
 			if !errors.Is(err, ztier.ErrTierFull) {
-				m.rejects++
+				m.rejects.Add(1)
 			}
 			res.Rejected = 1
 			return res, nil
 		}
-		ct.pages++
-		e.tier = dest
+		dstCT.pages.Add(1)
+		e.tier = pp.dest
 		e.handle = h
 	} else {
-		db := m.ba[dest]
-		if db.info.CapacityPages != 0 && db.pages >= db.info.CapacityPages {
+		db := m.ba[pp.dest]
+		if !db.tryReserve() {
 			// No room: restore source residency.
 			if _, wasCT := m.ct(e.tier); !wasCT {
-				m.ba[e.tier].pages++
+				m.ba[e.tier].pages.Add(1)
 			} else {
 				// Page was already extracted from a compressed tier; place
 				// it at the fault destination instead of losing it, and
 				// count it rejected like the compressed-tier fallback path.
-				fb := m.pickFaultDestination()
-				m.ba[fb].pages++
-				e.tier = fb
+				e.tier = m.reserveFaultDestination()
 				res.Rejected = 1
 			}
 			return res, ErrTierFull
 		}
 		res.LatencyNs += media.WriteCostNs(db.info.Media, PageSize)
-		db.pages++
-		e.tier = dest
+		e.tier = pp.dest
 	}
 	res.Moved = 1
-	m.migrations++
-	m.migratedIn[dest]++
+	m.migrations.Add(1)
+	m.migratedIn[pp.dest].Add(1)
 	return res, nil
+}
+
+// MigratePage moves page p to tier dest. Compressed-to-compressed moves
+// take the naive decompress-recompress path (§7.1) unless the codecs
+// match. Incompressible pages stay where they are and count as rejected.
+func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
+	if p < 0 || p >= PageID(m.numPages) {
+		return MigrationResult{}, ErrBadPage
+	}
+	if int(dest) < 0 || int(dest) >= len(m.tiers) {
+		return MigrationResult{}, ErrNoSuchTier
+	}
+	mu := m.regionLock(p.Region())
+	mu.Lock()
+	defer mu.Unlock()
+	return m.migratePageLocked(p, dest)
+}
+
+// migratePageLocked is the fused prepare+commit path; caller holds the
+// page's region write lock.
+func (m *Manager) migratePageLocked(p PageID, dest TierID) (MigrationResult, error) {
+	pp, err := m.preparePage(p, dest)
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	return m.commitPage(pp)
 }
 
 // MigrateRegion moves every page of region r to tier dest, accumulating
@@ -490,9 +679,15 @@ func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error
 	if start < 0 || start >= PageID(m.numPages) {
 		return total, ErrBadPage
 	}
+	if int(dest) < 0 || int(dest) >= len(m.tiers) {
+		return total, ErrNoSuchTier
+	}
+	mu := m.regionLock(r)
+	mu.Lock()
+	defer mu.Unlock()
 	full := false
 	for p := start; p < end; p++ {
-		res, err := m.MigratePage(p, dest)
+		res, err := m.migratePageLocked(p, dest)
 		total.Moved += res.Moved
 		total.Rejected += res.Rejected
 		total.Skipped += res.Skipped
@@ -510,15 +705,108 @@ func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error
 	return total, nil
 }
 
+// PreparedRegion is the precomputed half of one region migration, built by
+// PrepareRegionMigration and landed by CommitRegionMigration.
+type PreparedRegion struct {
+	m      *Manager
+	region RegionID
+	dest   TierID
+	pages  []preparedPage
+}
+
+// Release returns the prepared pages' pooled buffers without committing;
+// call it when a prepared region is abandoned. Committing releases them
+// automatically.
+func (pr *PreparedRegion) Release() { pr.releaseFrom(0) }
+
+func (pr *PreparedRegion) releaseFrom(i int) {
+	for ; i < len(pr.pages); i++ {
+		pr.pages[i].release()
+	}
+	pr.pages = nil
+}
+
+// PrepareRegionMigration runs the compute half of MigrateRegion(r, dest) —
+// every decompression and compression the sweep will need — under the
+// region's read lock, touching no shared state. Any number of goroutines
+// may prepare distinct regions concurrently; committing the prepared
+// regions in a fixed order (CommitRegionMigration) then reproduces the
+// serial migration outcome bit-for-bit, which is how sim.Run keeps results
+// identical across push-thread counts.
+func (m *Manager) PrepareRegionMigration(r RegionID, dest TierID) (*PreparedRegion, error) {
+	start := PageID(r) * RegionPages
+	end := start + RegionPages
+	if end > PageID(m.numPages) {
+		end = PageID(m.numPages)
+	}
+	if start < 0 || start >= PageID(m.numPages) {
+		return nil, ErrBadPage
+	}
+	if int(dest) < 0 || int(dest) >= len(m.tiers) {
+		return nil, ErrNoSuchTier
+	}
+	pr := &PreparedRegion{m: m, region: r, dest: dest,
+		pages: make([]preparedPage, 0, end-start)}
+	mu := m.regionLock(r)
+	mu.RLock()
+	defer mu.RUnlock()
+	for p := start; p < end; p++ {
+		pp, err := m.preparePage(p, dest)
+		if err != nil {
+			pr.Release()
+			return nil, err
+		}
+		pr.pages = append(pr.pages, pp)
+	}
+	return pr, nil
+}
+
+// CommitRegionMigration lands a prepared region migration, with the same
+// accumulation and ErrTierFull contract as MigrateRegion. The prepared
+// region is consumed: its buffers are released even on error.
+func (m *Manager) CommitRegionMigration(pr *PreparedRegion) (MigrationResult, error) {
+	var total MigrationResult
+	if pr == nil {
+		return total, errors.New("mem: nil prepared region")
+	}
+	if pr.m != m {
+		pr.Release()
+		return total, errors.New("mem: prepared region belongs to a different manager")
+	}
+	mu := m.regionLock(pr.region)
+	mu.Lock()
+	defer mu.Unlock()
+	full := false
+	for i := range pr.pages {
+		res, err := m.commitPage(pr.pages[i])
+		total.Moved += res.Moved
+		total.Rejected += res.Rejected
+		total.Skipped += res.Skipped
+		total.LatencyNs += res.LatencyNs
+		switch {
+		case errors.Is(err, ErrTierFull):
+			full = true
+		case err != nil:
+			pr.releaseFrom(i + 1)
+			return total, err
+		}
+	}
+	pr.pages = nil
+	if full {
+		return total, ErrTierFull
+	}
+	return total, nil
+}
+
 // TierPages returns the number of resident pages per tier, indexed by
 // TierID. For compressed tiers this counts stored (logical) pages.
 func (m *Manager) TierPages() []int64 {
 	out := make([]int64, len(m.tiers))
 	for i, b := range m.ba {
-		out[i] = b.pages
+		out[i] = b.pages.Load()
 	}
 	for i, c := range m.cts {
-		out[len(m.ba)+i] = c.pages
+		out[len(m.ba)+i] = c.pages.Load()
 	}
 	return out
 }
@@ -529,7 +817,7 @@ func (m *Manager) TierPages() []int64 {
 func (m *Manager) TierFootprintBytes() []int64 {
 	out := make([]int64, len(m.tiers))
 	for i, b := range m.ba {
-		out[i] = b.pages * PageSize
+		out[i] = b.pages.Load() * PageSize
 	}
 	for i, c := range m.cts {
 		out[len(m.ba)+i] = c.tier.Stats().PoolBytes()
@@ -590,6 +878,9 @@ func (m *Manager) SampleRegionRatio(r RegionID, codecName string, samples int) (
 	var orig, comp int64
 	var buf []byte
 	page := make([]byte, PageSize)
+	mu := m.regionLock(r)
+	mu.RLock()
+	defer mu.RUnlock()
 	for p := start; p < end; p += PageID(stride) {
 		data := m.content(p, page)
 		buf = codec.Compress(buf[:0], data)
@@ -629,7 +920,11 @@ type Counters struct {
 
 // Counters returns global counters.
 func (m *Manager) Counters() Counters {
-	return Counters{Faults: m.faults, Migrations: m.migrations, Rejects: m.rejects}
+	return Counters{
+		Faults:     m.faults.Load(),
+		Migrations: m.migrations.Load(),
+		Rejects:    m.rejects.Load(),
+	}
 }
 
 // RegionResidency returns, for region r, the number of its pages in each
@@ -641,6 +936,9 @@ func (m *Manager) RegionResidency(r RegionID) []int64 {
 	if end > PageID(m.numPages) {
 		end = PageID(m.numPages)
 	}
+	mu := m.regionLock(r)
+	mu.RLock()
+	defer mu.RUnlock()
 	for p := start; p < end; p++ {
 		out[m.ptes[p].tier]++
 	}

@@ -1,0 +1,122 @@
+// Migration apply engine: the real push-thread pool behind sim.Run.
+//
+// The paper's TS-Daemon applies each window's migration plan with PT
+// parallel kernel push threads. Earlier versions of this simulator only
+// modeled that (apply serially, divide the modeled time by PT); here the
+// plan really is applied by PT goroutines against the shared mem.Manager.
+//
+// Determinism contract: results are byte-identical for any PushThreads
+// value and across repeated runs. Each move splits into a pure prepare
+// (mem.PrepareRegionMigration — all decompression/compression compute,
+// no shared state) that workers run concurrently, and a commit
+// (mem.CommitRegionMigration — every placement decision, admission check
+// and counter) that a turnstile forces into ascending job-index order.
+// The commit sequence the manager observes is therefore exactly the
+// serial one, so pool layouts, ErrTierFull fallbacks, float latency sums
+// and all counters match a single-threaded apply bit-for-bit.
+package sim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/policy"
+)
+
+// turnstile admits goroutines strictly in ticket order: await(i) blocks
+// until advance has been called i times.
+type turnstile struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+}
+
+func newTurnstile() *turnstile {
+	t := &turnstile{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *turnstile) await(i int) {
+	t.mu.Lock()
+	for t.next != i {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+func (t *turnstile) advance() {
+	t.mu.Lock()
+	t.next++
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// applyMoves applies one window's migration plan with `workers` push
+// threads and returns the per-move results indexed like moves. A full
+// destination (mem.ErrTierFull) is benign per move — the manager completes
+// the sweep and its partial accounting stays valid, matching the serial
+// migrateRegion helper. Hard errors are reported for the lowest job index
+// so the failure is independent of goroutine interleaving.
+func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.MigrationResult, error) {
+	n := len(moves)
+	results := make([]mem.MigrationResult, n)
+	if n == 0 {
+		return results, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: fused prepare+commit per region, no pool.
+		for i, mv := range moves {
+			mr, err := migrateRegion(m, mv.Region, mv.Dest)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = mr
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	var nextJob atomic.Int64
+	nextJob.Store(-1)
+	ts := newTurnstile()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextJob.Add(1))
+				if i >= n {
+					return
+				}
+				pr, err := m.PrepareRegionMigration(moves[i].Region, moves[i].Dest)
+				// Commit in strict job order; every job must take its turn
+				// (and advance) even after a prepare error, or later jobs
+				// would wait forever.
+				ts.await(i)
+				if err == nil {
+					var mr mem.MigrationResult
+					mr, err = m.CommitRegionMigration(pr)
+					if errors.Is(err, mem.ErrTierFull) {
+						err = nil
+					}
+					results[i] = mr
+				}
+				ts.advance()
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

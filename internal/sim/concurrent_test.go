@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/policy"
+	"tierscape/internal/workload"
+)
+
+// ptRun executes one standard-mix run (the Fig-7/Fig-10 harness shape:
+// Memcached/YCSB on DRAM + NVMM + CT-1 + CT-2) at the given push-thread
+// count. Workload and manager are rebuilt per run so every invocation is
+// independent and identically seeded.
+func ptRun(t *testing.T, mdl model.Model, threads *int) *Result {
+	t.Helper()
+	wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+	res, err := Run(Config{
+		Manager:      standardMix(t, wl),
+		Workload:     wl,
+		Model:        mdl,
+		OpsPerWindow: 4000,
+		Windows:      5,
+		SampleRate:   Int(20),
+		PushThreads:  threads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestConcurrentPushThreadsDeterminism is the tentpole contract: the full
+// Result — every window record, tier-pages slice, latency summary and
+// float sum — must be byte-identical across PushThreads 1, 2 and 8 and
+// across repeated runs, even though PT>1 really applies migrations from
+// PT goroutines. Runs under -race in CI (the Concurrent suite).
+func TestConcurrentPushThreadsDeterminism(t *testing.T) {
+	for _, mdl := range []func() model.Model{
+		func() model.Model { return &model.Waterfall{Pct: 50} },
+		func() model.Model { return &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"} },
+	} {
+		name := mdl().Name()
+		t.Run(name, func(t *testing.T) {
+			base := ptRun(t, mdl(), Int(1))
+			if base.Windows[len(base.Windows)-1].Moves == 0 && base.Faults == 0 {
+				t.Fatal("run exercised no migrations; determinism test is vacuous")
+			}
+			for _, threads := range []int{1, 2, 8} {
+				got := ptRun(t, mdl(), Int(threads))
+				if !reflect.DeepEqual(got, base) {
+					t.Fatalf("PushThreads=%d result differs from PushThreads=1:\nPT1: %+v\nPT%d: %+v",
+						threads, base, threads, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentPushThreadsZeroValue is the pointer-optional regression
+// test: nil means "default 2", an explicit 1 is honored as serial (the old
+// int field silently rewrote both 0 and 1's intent), and out-of-range
+// values are rejected instead of silently patched.
+func TestConcurrentPushThreadsZeroValue(t *testing.T) {
+	mdl := func() model.Model { return &model.Waterfall{Pct: 50} }
+	nilRes := ptRun(t, mdl(), nil)
+	two := ptRun(t, mdl(), Int(2))
+	if !reflect.DeepEqual(nilRes, two) {
+		t.Fatal("nil PushThreads must mean the default of 2")
+	}
+	one := ptRun(t, mdl(), Int(1))
+	if !reflect.DeepEqual(one, two) {
+		// Determinism makes PT1 ≡ PT2 anyway; what matters is that an
+		// explicit 1 runs (and runs serially) instead of being rewritten.
+		t.Fatal("explicit PushThreads=1 must be honored and identical to the default")
+	}
+	for _, bad := range []int{0, -3} {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		_, err := Run(Config{
+			Manager:      standardMix(t, wl),
+			Workload:     wl,
+			Model:        mdl(),
+			OpsPerWindow: 100,
+			Windows:      1,
+			SampleRate:   Int(20),
+			PushThreads:  Int(bad),
+		})
+		if err == nil || !strings.Contains(err.Error(), "PushThreads") {
+			t.Fatalf("PushThreads=%d: want validation error, got %v", bad, err)
+		}
+	}
+}
+
+// TestConcurrentApplyMovesRepeatable hammers the worker pool directly:
+// the same plan applied at different worker counts on identically-built
+// managers yields identical per-move results in plan order.
+func TestConcurrentApplyMovesRepeatable(t *testing.T) {
+	collect := func(workers int) ([]mem.MigrationResult, []int64) {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		m := standardMix(t, wl)
+		tiers := m.Tiers()
+		// A synthetic plan: demote alternating regions into the two
+		// compressed tiers, promote a third of them back — enough traffic
+		// to cover the generic, same-codec and skip paths.
+		var moves []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: tiers[2+r%2].ID})
+		}
+		for r := int64(0); r < m.NumRegions(); r += 3 {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
+		}
+		results, err := applyMoves(m, moves, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, m.TierPages()
+	}
+	baseRes, basePages := collect(1)
+	for _, workers := range []int{2, 4, 8} {
+		res, pages := collect(workers)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Fatalf("workers=%d: per-move results differ from serial", workers)
+		}
+		if !reflect.DeepEqual(pages, basePages) {
+			t.Fatalf("workers=%d: tier residency differs from serial: %v vs %v",
+				workers, pages, basePages)
+		}
+	}
+}

@@ -47,7 +47,13 @@ func TestPrefetcherReducesFaultLatency(t *testing.T) {
 	}
 }
 
-func TestPushThreadsReduceInterference(t *testing.T) {
+// TestPushThreadsInvariant pins the determinism contract from the other
+// direction: push threads are a real-concurrency knob, and the
+// interference charge derives from the measured apply work (bytes moved),
+// so neither application time nor daemon work may depend on the thread
+// count. The old modeled engine divided the charge by PT; this guards
+// against that reappearing.
+func TestPushThreadsInvariant(t *testing.T) {
 	runWith := func(threads int) *Result {
 		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
 		res, err := Run(Config{
@@ -57,8 +63,8 @@ func TestPushThreadsReduceInterference(t *testing.T) {
 			OpsPerWindow: 5000,
 			Windows:      5,
 			SampleRate:   Int(20),
-			PushThreads:  threads,
-			Interference: Float(0.2), // exaggerate so the effect is measurable
+			PushThreads:  Int(threads),
+			Interference: Float(0.2), // exaggerate so any divergence is visible
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -67,11 +73,13 @@ func TestPushThreadsReduceInterference(t *testing.T) {
 	}
 	one := runWith(1)
 	eight := runWith(8)
-	if eight.AppNs >= one.AppNs {
-		t.Fatalf("8 push threads should reduce app time: %v vs %v", eight.AppNs, one.AppNs)
+	if eight.AppNs != one.AppNs {
+		t.Fatalf("app time depends on push threads: %v (PT8) vs %v (PT1)", eight.AppNs, one.AppNs)
 	}
-	// Total daemon work is the same either way.
-	if diff := eight.DaemonNs - one.DaemonNs; diff > one.DaemonNs*0.01 || diff < -one.DaemonNs*0.01 {
-		t.Fatalf("daemon work changed with threads: %v vs %v", eight.DaemonNs, one.DaemonNs)
+	if eight.DaemonNs != one.DaemonNs {
+		t.Fatalf("daemon work depends on push threads: %v (PT8) vs %v (PT1)", eight.DaemonNs, one.DaemonNs)
+	}
+	if one.DaemonNs == 0 {
+		t.Fatal("expected nonzero daemon work under Waterfall placement")
 	}
 }

@@ -11,8 +11,16 @@
 // accumulates op compute cost plus every memory access's modeled latency
 // (Eq. 4); daemon work (profiling tax, ILP solve, migration copies and
 // (de)compressions) is tracked separately and bleeds into application
-// time only through a configurable interference factor, mirroring the
-// paper's push-thread deployment (Figure 14).
+// time only through a configurable interference factor.
+//
+// Migration application uses real push threads (the artifact's PT
+// parameter): each window's plan is applied by PushThreads goroutines
+// against the shared manager (see apply.go). The interference charge
+// derives from the measured apply work — the summed modeled latency of
+// the moves the pool actually performed — and is independent of the
+// thread count, because cache and bandwidth contention scale with bytes
+// moved, not with how many threads move them. Results are byte-identical
+// for every PushThreads value; the knob only changes wall-clock speed.
 package sim
 
 import (
@@ -57,10 +65,14 @@ type Config struct {
 	// default 0.02. An explicit 0 is honored: daemon work then never
 	// bleeds into application time. Use Float to build the pointer inline.
 	Interference *float64
-	// PushThreads is how many daemon threads apply migrations in parallel
-	// (the artifact's PT parameter; default 2). Migration wall-clock time
-	// divides by it; total daemon work does not.
-	PushThreads int
+	// PushThreads is how many goroutines apply each window's migration
+	// plan in parallel (the artifact's PT parameter); nil uses the
+	// default 2, and an explicit 1 is honored as fully serial. Must be
+	// >= 1 when set; use Int to build the pointer inline. Results are
+	// byte-identical for every value — the deterministic prepare/commit
+	// engine in apply.go guarantees it — so the knob trades Go wall-clock
+	// time only, never simulated outcomes.
+	PushThreads *int
 	// PrefetchFaultThreshold enables the §3.2 prefetcher: when a region
 	// accumulates this many compressed-tier faults within one window, the
 	// daemon proactively decompresses the whole region back to DRAM
@@ -187,9 +199,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		sampleRate = *cfg.SampleRate
 	}
-	pushThreads := cfg.PushThreads
-	if pushThreads <= 0 {
-		pushThreads = 2
+	pushThreads := 2
+	if cfg.PushThreads != nil {
+		if *cfg.PushThreads < 1 {
+			return nil, fmt.Errorf("sim: PushThreads must be >= 1, got %d", *cfg.PushThreads)
+		}
+		pushThreads = *cfg.PushThreads
 	}
 
 	var prof telemetry.Recorder
@@ -269,12 +284,16 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Model != nil {
 			r := cfg.Model.Recommend(m, profile)
 			plan := filter.Apply(m, r, profile)
+			// Real push threads: pushThreads goroutines apply the plan
+			// concurrently; the deterministic in-order commit (apply.go)
+			// merges per-move accounting by job index, so the sums below
+			// are identical at every thread count.
+			applied, err := applyMoves(m, plan.Moves, pushThreads)
+			if err != nil {
+				return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
+			}
 			var migNs float64
-			for _, mv := range plan.Moves {
-				mr, err := migrateRegion(m, mv.Region, mv.Dest)
-				if err != nil {
-					return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
-				}
+			for _, mr := range applied {
 				migNs += mr.LatencyNs
 				rec.Moves += mr.Moved
 				rec.Rejected += mr.Rejected
@@ -289,9 +308,11 @@ func Run(cfg Config) (*Result, error) {
 			lastProfOverhead = prof.OverheadNs()
 			rec.SolverNs = r.SolverNs
 			rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs
-			// Migration work spreads across push threads; solver and
-			// profiling are serial. Interference charges the elapsed time.
-			elapsed := r.SolverNs + profDelta + (migNs+prefetchNs)/float64(pushThreads)
+			// Interference charges the measured apply work: cache and
+			// bandwidth contention scale with the bytes the push threads
+			// move, not with how many threads move them, so the charge is
+			// push-thread-invariant (part of the determinism contract).
+			elapsed := r.SolverNs + profDelta + migNs + prefetchNs
 			appNs += elapsed * interference
 			rec.RecommendedPages = recommendedPages(m, r)
 		} else {
@@ -299,7 +320,7 @@ func Run(cfg Config) (*Result, error) {
 			// telemetry running; the paper's baseline has none, so charge 0.
 			lastProfOverhead = prof.OverheadNs()
 			rec.DaemonNs = prefetchNs
-			appNs += prefetchNs / float64(pushThreads) * interference
+			appNs += prefetchNs * interference
 		}
 
 		rec.AppNs = appNs

@@ -9,11 +9,21 @@
 // in its pool, and reports modeled latencies for every operation. Pages
 // whose compressed form would not fit a pool page are rejected
 // (ErrIncompressible), mirroring zswap's rejection of incompressible data.
+//
+// A Tier is safe for concurrent use: a per-tier RWMutex serializes pool
+// access (the zpool managers are single-threaded by contract) and the
+// counters are atomics. For deterministic concurrency the store path also
+// splits into a pure PrepareStore (compression, no shared state) and a
+// serializable CommitStore (pool insertion + admission + counters), so a
+// caller can run the expensive compute in parallel and commit in a fixed
+// order.
 package ztier
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tierscape/internal/compress"
 	"tierscape/internal/media"
@@ -114,6 +124,10 @@ type Stats struct {
 	CompressedBytes int64
 	// PoolPages is the tier's physical footprint in pool pages.
 	PoolPages int
+	// HighPoolPages is the high-water mark of PoolPages over the tier's
+	// lifetime — the witness that admission control never overshot a
+	// SetMaxPoolPages byte budget, even transiently.
+	HighPoolPages int
 	// Faults counts loads (decompressions) served by the tier.
 	Faults int64
 	// Stores counts pages compressed into the tier.
@@ -135,27 +149,41 @@ type Tier struct {
 	cfg   Config
 	id    int
 	codec compress.Codec
-	pool  zpool.Pool
 
-	faults      int64
-	stores      int64
-	rejects     int64
-	sameFilled  int64
-	fullRejects int64
-
+	// mu guards the pool, the footprint bound and the scratch buffer.
+	// Reads of pool state (Load, Stats) take the read side; anything that
+	// mutates pool layout (Store, Free, Compact) takes the write side.
+	mu   sync.RWMutex
+	pool zpool.Pool
 	// maxPoolPages bounds the pool footprint (0 = unbounded), like
 	// zswap's max_pool_percent.
 	maxPoolPages int
+	// highPoolPages tracks the largest PoolPages ever observed after a
+	// store, for Stats.HighPoolPages.
+	highPoolPages int
+	scratch       []byte
 
-	scratch []byte
+	faults      atomic.Int64
+	stores      atomic.Int64
+	rejects     atomic.Int64
+	sameFilled  atomic.Int64
+	fullRejects atomic.Int64
 }
 
 // SetMaxPoolPages bounds the tier's physical footprint; stores that would
 // exceed it fail with ErrTierFull. Zero removes the bound.
-func (t *Tier) SetMaxPoolPages(n int) { t.maxPoolPages = n }
+func (t *Tier) SetMaxPoolPages(n int) {
+	t.mu.Lock()
+	t.maxPoolPages = n
+	t.mu.Unlock()
+}
 
 // MaxPoolPages returns the configured footprint bound (0 = unbounded).
-func (t *Tier) MaxPoolPages() int { return t.maxPoolPages }
+func (t *Tier) MaxPoolPages() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.maxPoolPages
+}
 
 // sameFilledByte reports whether data consists of one repeated byte.
 func sameFilledByte(data []byte) (byte, bool) {
@@ -206,30 +234,80 @@ func (t *Tier) Config() Config { return t.cfg }
 // Name returns the tier's encoded name (e.g. "ZS-LO-DR").
 func (t *Tier) Name() string { return t.cfg.String() }
 
+// PreparedStore is the side-effect-free half of a store: the compressed
+// object (or the same-filled/rejected classification) plus the modeled
+// compression cost. Build one with PrepareStore, land it with CommitStore.
+// A PreparedStore references the buffer handed to PrepareStore; the caller
+// must keep that buffer alive and unmodified until the commit.
+type PreparedStore struct {
+	comp       []byte
+	sameFilled bool
+	fillByte   byte
+	rejected   bool
+	compressNs float64
+}
+
+// Scratch exposes the (possibly reallocated) compression buffer backing
+// the prepared object, so callers recycling pooled buffers can keep the
+// grown one. Nil for same-filled pages, which compress nothing.
+func (ps PreparedStore) Scratch() []byte { return ps.comp }
+
+// PrepareStore runs the compute half of Store — the same-filled scan and
+// the compression into dst — without touching any shared tier state. It is
+// safe to call concurrently with every other tier operation; the returned
+// PreparedStore is landed later (in any caller-chosen order) with
+// CommitStore, which reproduces Store's counters, admission decisions and
+// modeled latency exactly.
+func (t *Tier) PrepareStore(data, dst []byte) PreparedStore {
+	if b, ok := sameFilledByte(data); ok {
+		return PreparedStore{sameFilled: true, fillByte: b}
+	}
+	comp := t.codec.Compress(dst[:0], data)
+	return PreparedStore{
+		comp:       comp,
+		rejected:   len(comp) >= PageSize,
+		compressNs: CompressNs(t.cfg.Codec, len(data)),
+	}
+}
+
+// CommitStore lands a PreparedStore: pool insertion, admission against the
+// footprint bound, counters, and the store latency. Store(data) is exactly
+// PrepareStore followed by CommitStore.
+func (t *Tier) CommitStore(ps PreparedStore) (Handle, float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitLocked(ps)
+}
+
+func (t *Tier) commitLocked(ps PreparedStore) (Handle, float64, error) {
+	if ps.sameFilled {
+		t.stores.Add(1)
+		t.sameFilled.Add(1)
+		return Handle{sameFilled: true, fillByte: ps.fillByte, size: 0}, sameFilledScanNs, nil
+	}
+	if ps.rejected {
+		t.rejects.Add(1)
+		// Even a rejected store costs the compression attempt.
+		return Handle{}, ps.compressNs, ErrIncompressible
+	}
+	h, storeNs, err := t.storeCompressedLocked(ps.comp)
+	if err != nil {
+		return Handle{}, ps.compressNs, err
+	}
+	return h, ps.compressNs + storeNs, nil
+}
+
 // Store compresses page data and stores it. It returns the handle and the
 // modeled store latency in nanoseconds. ErrIncompressible is returned when
 // the compressed page would occupy a full pool page or more.
 func (t *Tier) Store(data []byte) (Handle, float64, error) {
-	// Same-filled fast path (zswap's optimization): a page of one repeated
-	// byte is recorded in the handle alone — no compression, no pool space.
-	if b, ok := sameFilledByte(data); ok {
-		t.stores++
-		t.sameFilled++
-		return Handle{sameFilled: true, fillByte: b, size: 0}, sameFilledScanNs, nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.PrepareStore(data, t.scratch)
+	if cap(ps.comp) > cap(t.scratch) {
+		t.scratch = ps.comp[:0]
 	}
-	t.scratch = t.codec.Compress(t.scratch[:0], data)
-	comp := t.scratch
-	if len(comp) >= PageSize {
-		t.rejects++
-		// Even a rejected store costs the compression attempt.
-		return Handle{}, CompressNs(t.cfg.Codec, len(data)), ErrIncompressible
-	}
-	lat := CompressNs(t.cfg.Codec, len(data))
-	h, storeNs, err := t.storeCompressed(comp)
-	if err != nil {
-		return Handle{}, lat, err
-	}
-	return h, lat + storeNs, nil
+	return t.commitLocked(ps)
 }
 
 // StoreCompressed inserts an already-compressed object produced by a tier
@@ -238,27 +316,46 @@ func (t *Tier) Store(data []byte) (Handle, float64, error) {
 // guarantee comp was produced by this tier's codec.
 func (t *Tier) StoreCompressed(comp []byte) (Handle, float64, error) {
 	if len(comp) >= PageSize {
-		t.rejects++
+		t.rejects.Add(1)
 		return Handle{}, 0, ErrIncompressible
 	}
-	return t.storeCompressed(comp)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.storeCompressedLocked(comp)
 }
 
-func (t *Tier) storeCompressed(comp []byte) (Handle, float64, error) {
+func (t *Tier) storeCompressedLocked(comp []byte) (Handle, float64, error) {
 	if t.maxPoolPages > 0 {
 		// Admission check against the footprint bound; conservative by one
-		// pool page, like zswap's accept-threshold hysteresis.
+		// pool page, like zswap's accept-threshold hysteresis. The check
+		// runs under the tier lock, so concurrent stores can never race
+		// past the budget together.
 		if t.pool.Stats().PoolPages >= t.maxPoolPages {
-			t.fullRejects++
+			t.fullRejects.Add(1)
 			return Handle{}, 0, ErrTierFull
 		}
 	}
 	h, err := t.pool.Store(comp)
 	if err != nil {
-		t.rejects++
+		t.rejects.Add(1)
 		return Handle{}, 0, ErrIncompressible
 	}
-	t.stores++
+	if t.maxPoolPages > 0 && t.pool.Stats().PoolPages > t.maxPoolPages {
+		// The store grew the pool past the budget in one step — zsmalloc
+		// zspages span several pages, so passing the pre-check does not
+		// bound the allocation. Roll the store back under the tier lock;
+		// the overshoot is never observable (Stats also takes the lock)
+		// and the budget invariant holds exactly, not just by one page.
+		if ferr := t.pool.Free(h); ferr != nil {
+			return Handle{}, 0, fmt.Errorf("ztier %s: rolling back over-budget store: %w", t.Name(), ferr)
+		}
+		t.fullRejects.Add(1)
+		return Handle{}, 0, ErrTierFull
+	}
+	if pp := t.pool.Stats().PoolPages; pp > t.highPoolPages {
+		t.highPoolPages = pp
+	}
+	t.stores.Add(1)
 	lat := PoolStoreNs(t.cfg.Pool) + media.WriteCostNs(t.cfg.Media, len(comp))
 	return Handle{pool: h, size: len(comp)}, lat, nil
 }
@@ -269,8 +366,21 @@ func (t *Tier) storeCompressed(comp []byte) (Handle, float64, error) {
 // decompression. The latency of writing the page into its destination
 // byte-addressable tier is charged by the memory manager.
 func (t *Tier) Load(h Handle, dst []byte) ([]byte, float64, error) {
+	out, lat, err := t.PrepareLoad(h, dst)
+	if err != nil {
+		return out, lat, err
+	}
+	t.faults.Add(1)
+	return out, lat, nil
+}
+
+// PrepareLoad is Load without the fault counter: the read half of a
+// deterministic prepare/commit migration, where the decompression runs
+// concurrently but counters must only move at commit time (via CountLoad)
+// to match serial totals exactly. Safe to call concurrently; the pool read
+// takes the tier's read lock.
+func (t *Tier) PrepareLoad(h Handle, dst []byte) ([]byte, float64, error) {
 	if h.sameFilled {
-		t.faults++
 		start := len(dst)
 		dst = append(dst, make([]byte, PageSize)...)
 		for i := start; i < len(dst); i++ {
@@ -278,7 +388,9 @@ func (t *Tier) Load(h Handle, dst []byte) ([]byte, float64, error) {
 		}
 		return dst, sameFilledFillNs, nil
 	}
+	t.mu.RLock()
 	comp, err := t.pool.Load(h.pool, nil)
+	t.mu.RUnlock()
 	if err != nil {
 		return dst, 0, err
 	}
@@ -286,12 +398,14 @@ func (t *Tier) Load(h Handle, dst []byte) ([]byte, float64, error) {
 	if err != nil {
 		return dst, 0, fmt.Errorf("ztier %s: corrupt object: %w", t.Name(), err)
 	}
-	t.faults++
 	lat := PoolLookupNs(t.cfg.Pool) +
 		media.ReadCostNs(t.cfg.Media, len(comp)) +
 		DecompressNs(t.cfg.Codec, PageSize)
 	return out, lat, nil
 }
+
+// CountLoad records the fault counter bump a PrepareLoad deferred.
+func (t *Tier) CountLoad() { t.faults.Add(1) }
 
 // LoadCompressed returns the raw compressed object (no decompression) and
 // the modeled read latency — the extraction half of the §7.1 same-codec
@@ -301,7 +415,9 @@ func (t *Tier) LoadCompressed(h Handle, dst []byte) ([]byte, float64, bool, erro
 	if h.sameFilled {
 		return dst, 0, false, nil
 	}
+	t.mu.RLock()
 	comp, err := t.pool.Load(h.pool, dst)
+	t.mu.RUnlock()
 	if err != nil {
 		return dst, 0, false, err
 	}
@@ -312,16 +428,20 @@ func (t *Tier) LoadCompressed(h Handle, dst []byte) ([]byte, float64, bool, erro
 // Free releases the stored page.
 func (t *Tier) Free(h Handle) error {
 	if h.sameFilled {
-		t.sameFilled--
+		t.sameFilled.Add(-1)
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.pool.Free(h.pool)
 }
 
 // Compact runs the pool's compactor (zsmalloc's zs_compact) and returns
 // the pool pages reclaimed plus the modeled cost of the object moves.
 func (t *Tier) Compact() (int, float64) {
+	t.mu.Lock()
 	reclaimed := t.pool.Compact()
+	t.mu.Unlock()
 	if reclaimed == 0 {
 		return 0, 0
 	}
@@ -336,16 +456,20 @@ func (t *Tier) Compact() (int, float64) {
 // Stats returns the tier's counters. Pages includes live same-filled
 // pages, which contribute no pool footprint.
 func (t *Tier) Stats() Stats {
+	t.mu.RLock()
 	ps := t.pool.Stats()
+	high := t.highPoolPages
+	t.mu.RUnlock()
 	return Stats{
-		Pages:           ps.Objects + int(t.sameFilled),
+		Pages:           ps.Objects + int(t.sameFilled.Load()),
 		CompressedBytes: ps.StoredBytes,
 		PoolPages:       ps.PoolPages,
-		Faults:          t.faults,
-		Stores:          t.stores,
-		Rejects:         t.rejects,
-		SameFilled:      t.sameFilled,
-		FullRejects:     t.fullRejects,
+		HighPoolPages:   high,
+		Faults:          t.faults.Load(),
+		Stores:          t.stores.Load(),
+		Rejects:         t.rejects.Load(),
+		SameFilled:      t.sameFilled.Load(),
+		FullRejects:     t.fullRejects.Load(),
 	}
 }
 

@@ -177,8 +177,11 @@ type RunConfig struct {
 	Seed uint64
 	// DRAMCapacityPages bounds DRAM (0 = unbounded).
 	DRAMCapacityPages int64
-	// PushThreads is how many daemon threads apply migrations (default 2,
-	// the artifact's PT2 setting).
+	// PushThreads is how many goroutines apply each window's migration
+	// plan in parallel (0 = default 2, the artifact's PT2 setting; 1 =
+	// fully serial). Results are byte-identical at every setting — the
+	// engine commits migrations in deterministic order — so the knob only
+	// changes wall-clock speed.
 	PushThreads int
 	// PrefetchFaultThreshold enables the §3.2 prefetcher: a region hit by
 	// this many compressed-tier faults in one window is promoted in bulk
@@ -213,8 +216,10 @@ func Run(cfg RunConfig) (*Result, error) {
 		Model:                  cfg.Model,
 		Windows:                cfg.Windows,
 		OpsPerWindow:           cfg.OpsPerWindow,
-		PushThreads:            cfg.PushThreads,
 		PrefetchFaultThreshold: cfg.PrefetchFaultThreshold,
+	}
+	if cfg.PushThreads > 0 {
+		scfg.PushThreads = sim.Int(cfg.PushThreads)
 	}
 	if cfg.SampleRate > 0 {
 		scfg.SampleRate = sim.Int(cfg.SampleRate)
