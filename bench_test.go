@@ -284,7 +284,7 @@ func BenchmarkPool_Zsmalloc(b *testing.B) { benchPool(b, "zsmalloc") }
 func BenchmarkPool_Zbud(b *testing.B)     { benchPool(b, "zbud") }
 func BenchmarkPool_Z3fold(b *testing.B)   { benchPool(b, "z3fold") }
 
-func BenchmarkILP_Greedy256Regions(b *testing.B) {
+func BenchmarkMCKP_Greedy256Regions(b *testing.B) {
 	rng := stats.NewRNG(9)
 	p := ilpProblem(rng, 256, 6)
 	b.ResetTimer()
@@ -295,7 +295,7 @@ func BenchmarkILP_Greedy256Regions(b *testing.B) {
 	}
 }
 
-func BenchmarkILP_Exact64Regions(b *testing.B) {
+func BenchmarkMCKP_Exact64Regions(b *testing.B) {
 	rng := stats.NewRNG(9)
 	p := ilpProblem(rng, 64, 6)
 	b.ResetTimer()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tierscape/internal/mem"
+	"tierscape/internal/model"
 	"tierscape/internal/workload"
 )
 
@@ -192,6 +193,56 @@ func TestConcurrentPushThreadsIdenticalTables(t *testing.T) {
 	for _, threads := range []int{2, 8} {
 		if tables[threads] != tables[1] {
 			t.Fatalf("Fig10 table differs between PushThreads 1 and %d:\nPT1:\n%s\nPT%d:\n%s",
+				threads, tables[1], threads, tables[threads])
+		}
+	}
+}
+
+// TestConcurrentFallbackHeavyFig10CSV reruns the Fig-10 sweep on a manager
+// whose CT-1 pool is clamped to a sliver, so every run's demotions hit
+// ErrTierFull and commit outcomes depend on fallback placement — the
+// conflict-heaviest shape the commit scheduler faces. The CSV must stay
+// byte-identical across PushThreads 1, 2 and 8. Runs under -race -count=3
+// in CI (the Concurrent suite).
+func TestConcurrentFallbackHeavyFig10CSV(t *testing.T) {
+	s := SmallScale()
+	const ct1PoolPages = 24
+	clamped := func(wl workload.Workload, seed uint64) (*mem.Manager, error) {
+		m, err := standardManager(wl, seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetCompressedTierLimit(stdCT1, ct1PoolPages); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	// Non-vacuousness: under the clamp an aggressive demoter must actually
+	// have moves rejected at commit time.
+	res, err := runOne(s, workloadByName("Memcached/YCSB"), &model.Waterfall{Pct: 75}, clamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for _, w := range res.Windows {
+		rejected += w.Rejected
+	}
+	if rejected == 0 {
+		t.Fatal("clamped CT-1 produced no rejected moves; fallback-heavy test is vacuous")
+	}
+	tables := make(map[int]string)
+	for _, threads := range []int{1, 2, 8} {
+		withPushThreads(t, threads, func() {
+			tab, err := fig10With(s, clamped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables[threads] = tab.CSV()
+		})
+	}
+	for _, threads := range []int{2, 8} {
+		if tables[threads] != tables[1] {
+			t.Fatalf("fallback-heavy Fig10 CSV differs between PushThreads 1 and %d:\nPT1:\n%s\nPT%d:\n%s",
 				threads, tables[1], threads, tables[threads])
 		}
 	}

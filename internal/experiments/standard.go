@@ -160,6 +160,15 @@ func Fig9(s Scale) (*Table, error) {
 // Fig10 reproduces Figure 10: the knob sweep. AM runs at five α values;
 // HeMem*, GSwap*, TMO* and Waterfall run at two thresholds (P25, P75).
 func Fig10(s Scale) (*Table, error) {
+	return fig10With(s, nil)
+}
+
+// fig10With is Fig10 parameterized by manager builder (nil means the
+// standard mix), so tests can rerun the whole sweep on a constrained
+// manager — e.g. a clamped CT-1 pool that forces ErrTierFull fallbacks in
+// every run — and assert the table stays byte-identical across push-thread
+// counts.
+func fig10With(s Scale, build managerBuilder) (*Table, error) {
 	t := &Table{
 		Title:   "Figure 10: multi-objective tuning (Memcached/YCSB)",
 		Headers: []string{"config", "slowdown_pct", "tco_savings_pct"},
@@ -193,9 +202,9 @@ func Fig10(s Scale) (*Table, error) {
 			})
 		}
 	}
-	jobs := []runJob{{spec: spec}}
+	jobs := []runJob{{spec: spec, build: build}}
 	for _, p := range points {
-		jobs = append(jobs, runJob{spec: spec, mdl: p.mdl})
+		jobs = append(jobs, runJob{spec: spec, mdl: p.mdl, build: build})
 	}
 	results, err := runJobs(s, jobs)
 	if err != nil {

@@ -37,6 +37,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -156,6 +157,27 @@ type Config struct {
 // get one lock per region, large ones share stripes.
 const regionLockStripes = 256
 
+// TierSet is a bitmask of TierIDs — a migration's footprint over the
+// manager's order-sensitive tiers. Managers are limited to 64 tiers for
+// footprint purposes; callers with more tiers must fall back to full
+// ordering (see MoveFootprint).
+type TierSet uint64
+
+// With returns s with tier id added.
+func (s TierSet) With(id TierID) TierSet { return s | 1<<uint(id) }
+
+// Contains reports whether tier id is in the set.
+func (s TierSet) Contains(id TierID) bool { return s&(1<<uint(id)) != 0 }
+
+// Union returns the union of s and o.
+func (s TierSet) Union(o TierSet) TierSet { return s | o }
+
+// Overlaps reports whether the sets share any tier.
+func (s TierSet) Overlaps(o TierSet) bool { return s&o != 0 }
+
+// Len returns the number of tiers in the set.
+func (s TierSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
 // Manager is the tiered memory manager.
 type Manager struct {
 	numPages int64
@@ -197,6 +219,62 @@ var pageBufPool = sync.Pool{
 
 func getPageBuf() *[]byte  { return pageBufPool.Get().(*[]byte) }
 func putPageBuf(b *[]byte) { pageBufPool.Put(b) }
+
+// MigrationScratch is a reusable arena of page-sized work buffers for the
+// migration paths. A push thread that owns one reuses the same buffers
+// across every move it prepares and commits, instead of round-tripping each
+// buffer through the global sync.Pool per page. A nil *MigrationScratch is
+// valid and falls back to the pool, so single-shot callers need not build
+// one. Not safe for concurrent use: each worker owns its own arena.
+type MigrationScratch struct {
+	free []*[]byte
+}
+
+// get hands out a buffer with at least PageSize capacity, preferring the
+// arena's freelist. An empty arena refills from the global pool so buffers
+// keep circulating across applyMoves calls instead of being allocated per
+// call and discarded.
+func (s *MigrationScratch) get() *[]byte {
+	if s == nil || len(s.free) == 0 {
+		return getPageBuf()
+	}
+	n := len(s.free)
+	b := s.free[n-1]
+	s.free = s.free[:n-1]
+	return b
+}
+
+// put returns a buffer to the arena (or the global pool for nil arenas).
+// Buffers grown past PageSize by compression output are retained grown.
+func (s *MigrationScratch) put(b *[]byte) {
+	if s == nil {
+		putPageBuf(b)
+		return
+	}
+	s.free = append(s.free, b)
+}
+
+// Buffers reports how many buffers the arena currently holds, for tests
+// asserting reuse across moves.
+func (s *MigrationScratch) Buffers() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.free)
+}
+
+// Drain returns every cached buffer to the global pool. Call when the
+// arena's owner (a push-thread worker) finishes its plan, so the buffers
+// stay in circulation for the next window.
+func (s *MigrationScratch) Drain() {
+	if s == nil {
+		return
+	}
+	for _, b := range s.free {
+		putPageBuf(b)
+	}
+	s.free = s.free[:0]
+}
 
 // NewManager builds a manager with all pages initially resident in DRAM.
 func NewManager(cfg Config) (*Manager, error) {
@@ -433,22 +511,23 @@ type preparedPage struct {
 	destPrep    ztier.PreparedStore
 	hasDestPrep bool
 
-	bufs []*[]byte // pooled buffers backing fastComp/destPrep
+	sc   *MigrationScratch // buffer source (nil = global pool)
+	bufs []*[]byte         // scratch buffers backing fastComp/destPrep
 }
 
 func (pp *preparedPage) release() {
 	for _, b := range pp.bufs {
-		putPageBuf(b)
+		pp.sc.put(b)
 	}
 	pp.bufs = nil
 }
 
-// preparePage builds the prepared half of moving page p to dest. The
-// caller must hold p's region lock (read side suffices). On error every
-// pooled buffer is already released.
-func (m *Manager) preparePage(p PageID, dest TierID) (preparedPage, error) {
+// preparePage builds the prepared half of moving page p to dest, drawing
+// work buffers from sc (nil = global pool). The caller must hold p's region
+// lock (read side suffices). On error every buffer is already released.
+func (m *Manager) preparePage(p PageID, dest TierID, sc *MigrationScratch) (preparedPage, error) {
 	e := &m.ptes[p]
-	pp := preparedPage{page: p, dest: dest, src: e.tier}
+	pp := preparedPage{page: p, dest: dest, src: e.tier, sc: sc}
 	if e.tier == dest {
 		pp.skip = true
 		return pp, nil
@@ -459,13 +538,13 @@ func (m *Manager) preparePage(p PageID, dest TierID) (preparedPage, error) {
 	if srcCT, ok := m.ct(e.tier); ok {
 		if dstCT, ok2 := m.ct(dest); ok2 &&
 			srcCT.tier.Config().Codec == dstCT.tier.Config().Codec {
-			buf := getPageBuf()
+			buf := sc.get()
 			comp, readNs, direct, err := srcCT.tier.LoadCompressed(e.handle, (*buf)[:0])
 			if cap(comp) > cap(*buf) {
 				*buf = comp[:0]
 			}
 			if err != nil {
-				putPageBuf(buf)
+				sc.put(buf)
 				return pp, fmt.Errorf("mem: migrating page %d: %w", p, err)
 			}
 			if direct {
@@ -474,7 +553,7 @@ func (m *Manager) preparePage(p PageID, dest TierID) (preparedPage, error) {
 				pp.bufs = append(pp.bufs, buf)
 				return pp, nil
 			}
-			putPageBuf(buf)
+			sc.put(buf)
 		}
 	}
 	if err := m.prepareGeneric(&pp); err != nil {
@@ -492,25 +571,25 @@ func (m *Manager) prepareGeneric(pp *preparedPage) error {
 	dstCT, dstIsCT := m.ct(pp.dest)
 	var pageBytes []byte
 	if srcCT, ok := m.ct(e.tier); ok {
-		buf := getPageBuf()
+		buf := pp.sc.get()
 		out, loadNs, err := srcCT.tier.PrepareLoad(e.handle, (*buf)[:0])
 		if cap(out) > cap(*buf) {
 			*buf = out[:0]
 		}
 		if err != nil {
-			putPageBuf(buf)
+			pp.sc.put(buf)
 			return fmt.Errorf("mem: migrating page %d: %w", pp.page, err)
 		}
 		pp.bufs = append(pp.bufs, buf)
 		pp.srcLoadNs = loadNs
 		pageBytes = out
 	} else if dstIsCT {
-		buf := getPageBuf()
+		buf := pp.sc.get()
 		pageBytes = m.content(pp.page, *buf)
 		pp.bufs = append(pp.bufs, buf)
 	}
 	if dstIsCT {
-		cbuf := getPageBuf()
+		cbuf := pp.sc.get()
 		pp.destPrep = dstCT.tier.PrepareStore(pageBytes, *cbuf)
 		if s := pp.destPrep.Scratch(); cap(s) > cap(*cbuf) {
 			*cbuf = s[:0]
@@ -532,7 +611,7 @@ func (m *Manager) commitPage(pp preparedPage) (MigrationResult, error) {
 	e := &m.ptes[pp.page]
 	if e.tier != pp.src {
 		pp.release()
-		np, err := m.preparePage(pp.page, pp.dest)
+		np, err := m.preparePage(pp.page, pp.dest, pp.sc)
 		if err != nil {
 			return res, err
 		}
@@ -648,13 +727,13 @@ func (m *Manager) MigratePage(p PageID, dest TierID) (MigrationResult, error) {
 	mu := m.regionLock(p.Region())
 	mu.Lock()
 	defer mu.Unlock()
-	return m.migratePageLocked(p, dest)
+	return m.migratePageLocked(p, dest, nil)
 }
 
 // migratePageLocked is the fused prepare+commit path; caller holds the
 // page's region write lock.
-func (m *Manager) migratePageLocked(p PageID, dest TierID) (MigrationResult, error) {
-	pp, err := m.preparePage(p, dest)
+func (m *Manager) migratePageLocked(p PageID, dest TierID, sc *MigrationScratch) (MigrationResult, error) {
+	pp, err := m.preparePage(p, dest, sc)
 	if err != nil {
 		return MigrationResult{}, err
 	}
@@ -670,6 +749,13 @@ func (m *Manager) migratePageLocked(p PageID, dest TierID) (MigrationResult, err
 // The full-tier condition is reported once, as ErrTierFull, after the
 // whole region has been processed; the result is valid alongside it.
 func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error) {
+	return m.MigrateRegionScratch(r, dest, nil)
+}
+
+// MigrateRegionScratch is MigrateRegion drawing work buffers from the
+// caller's arena instead of the global pool — the fused path for a worker
+// that migrates many regions back to back.
+func (m *Manager) MigrateRegionScratch(r RegionID, dest TierID, sc *MigrationScratch) (MigrationResult, error) {
 	var total MigrationResult
 	start := PageID(r) * RegionPages
 	end := start + RegionPages
@@ -687,7 +773,7 @@ func (m *Manager) MigrateRegion(r RegionID, dest TierID) (MigrationResult, error
 	defer mu.Unlock()
 	full := false
 	for p := start; p < end; p++ {
-		res, err := m.migratePageLocked(p, dest)
+		res, err := m.migratePageLocked(p, dest, sc)
 		total.Moved += res.Moved
 		total.Rejected += res.Rejected
 		total.Skipped += res.Skipped
@@ -711,7 +797,120 @@ type PreparedRegion struct {
 	m      *Manager
 	region RegionID
 	dest   TierID
+	fp     TierSet
 	pages  []preparedPage
+}
+
+// Footprint returns the move's commit footprint as observed at prepare
+// time: every order-sensitive tier the commit can touch, including
+// ErrTierFull/incompressible fallback targets (see MoveFootprint).
+func (pr *PreparedRegion) Footprint() TierSet { return pr.fp }
+
+// orderedTier reports whether commits touching tier id are order-sensitive:
+// compressed tiers always are (pool layout and admission depend on the
+// store/free sequence), byte-addressable tiers only when bounded (admission
+// reads the occupancy; unbounded BA tiers see nothing but commutative
+// atomic adds, so commit order cannot change any outcome on them).
+func (m *Manager) orderedTier(id TierID) bool {
+	if _, isCT := m.ct(id); isCT {
+		return true
+	}
+	return m.ba[id].info.CapacityPages != 0
+}
+
+// OrderedTiers returns the set of order-sensitive tiers: all compressed
+// tiers plus every bounded byte-addressable tier.
+func (m *Manager) OrderedTiers() TierSet {
+	var s TierSet
+	for id := range m.tiers {
+		if m.orderedTier(TierID(id)) {
+			s = s.With(TierID(id))
+		}
+	}
+	return s
+}
+
+// FaultFallbackSet returns the order-sensitive tiers coupled by the fault-
+// destination search (reserveFaultDestination): the bounded byte-
+// addressable tiers. The search walks BA tiers in order and its outcome
+// depends only on the bounded ones' occupancy — unbounded tiers admit
+// unconditionally — so a commit that can reach it must be ordered against
+// exactly this set.
+func (m *Manager) FaultFallbackSet() TierSet {
+	var s TierSet
+	for i, b := range m.ba {
+		if b.info.CapacityPages != 0 {
+			s = s.With(TierID(i))
+		}
+	}
+	return s
+}
+
+// footprintLocked computes the commit footprint of moving the pages in
+// [start, end) to dest, given each page's current tier from src(p). Caller
+// holds the region lock (read side suffices).
+func (m *Manager) footprintLocked(start, end PageID, dest TierID, src func(PageID) TierID) TierSet {
+	var fp TierSet
+	_, destCT := m.ct(dest)
+	// A compressed destination can reject any page (incompressible, or the
+	// pool at its limit); a byte-addressable one only when bounded.
+	destCanReject := destCT || m.orderedTier(dest)
+	anyMove, couple := false, false
+	for p := start; p < end; p++ {
+		s := src(p)
+		if s == dest {
+			continue // skip: no tier state is touched for this page
+		}
+		anyMove = true
+		if m.orderedTier(s) {
+			fp = fp.With(s)
+		}
+		if _, srcCT := m.ct(s); srcCT && destCanReject {
+			// A CT-resident page whose store into dest is rejected
+			// (incompressible, or the destination full) falls back through
+			// the fault-destination search.
+			couple = true
+		}
+	}
+	if anyMove && m.orderedTier(dest) {
+		fp = fp.With(dest)
+	}
+	if couple {
+		fp = fp.Union(m.FaultFallbackSet())
+	}
+	return fp
+}
+
+// MoveFootprint returns the commit footprint of migrating region r to dest
+// from the region's current residency: the set of order-sensitive tiers the
+// commit can read or mutate, including every ErrTierFull and
+// incompressible-rejection fallback target. Two prepared moves whose
+// footprints do not overlap (and that address distinct regions) may commit
+// in either order — or concurrently — with bit-identical outcomes; moves
+// with overlapping footprints must commit in plan order per shared tier.
+// Managers with more than 64 tiers cannot be represented; callers must then
+// serialize all commits (TierSet is a 64-bit mask).
+func (m *Manager) MoveFootprint(r RegionID, dest TierID) (TierSet, error) {
+	start := PageID(r) * RegionPages
+	end := start + RegionPages
+	if end > PageID(m.numPages) {
+		end = PageID(m.numPages)
+	}
+	if start < 0 || start >= PageID(m.numPages) {
+		return 0, ErrBadPage
+	}
+	if int(dest) < 0 || int(dest) >= len(m.tiers) {
+		return 0, ErrNoSuchTier
+	}
+	if len(m.tiers) > 64 {
+		return 0, errors.New("mem: MoveFootprint supports at most 64 tiers")
+	}
+	mu := m.regionLock(r)
+	mu.RLock()
+	defer mu.RUnlock()
+	return m.footprintLocked(start, end, dest, func(p PageID) TierID {
+		return m.ptes[p].tier
+	}), nil
 }
 
 // Release returns the prepared pages' pooled buffers without committing;
@@ -734,6 +933,14 @@ func (pr *PreparedRegion) releaseFrom(i int) {
 // serial migration outcome bit-for-bit, which is how sim.Run keeps results
 // identical across push-thread counts.
 func (m *Manager) PrepareRegionMigration(r RegionID, dest TierID) (*PreparedRegion, error) {
+	return m.PrepareRegionMigrationScratch(r, dest, nil)
+}
+
+// PrepareRegionMigrationScratch is PrepareRegionMigration drawing work
+// buffers from the caller's arena. A push thread that prepares and commits
+// moves back to back hands the same arena to every prepare; the buffers a
+// commit releases are reused by the next prepare with no pool round-trip.
+func (m *Manager) PrepareRegionMigrationScratch(r RegionID, dest TierID, sc *MigrationScratch) (*PreparedRegion, error) {
 	start := PageID(r) * RegionPages
 	end := start + RegionPages
 	if end > PageID(m.numPages) {
@@ -751,13 +958,16 @@ func (m *Manager) PrepareRegionMigration(r RegionID, dest TierID) (*PreparedRegi
 	mu.RLock()
 	defer mu.RUnlock()
 	for p := start; p < end; p++ {
-		pp, err := m.preparePage(p, dest)
+		pp, err := m.preparePage(p, dest, sc)
 		if err != nil {
 			pr.Release()
 			return nil, err
 		}
 		pr.pages = append(pr.pages, pp)
 	}
+	pr.fp = m.footprintLocked(start, end, dest, func(p PageID) TierID {
+		return pr.pages[p-start].src
+	})
 	return pr, nil
 }
 

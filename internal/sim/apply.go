@@ -7,13 +7,16 @@
 //
 // Determinism contract: results are byte-identical for any PushThreads
 // value and across repeated runs. Each move splits into a pure prepare
-// (mem.PrepareRegionMigration — all decompression/compression compute,
-// no shared state) that workers run concurrently, and a commit
+// (mem.PrepareRegionMigration — all decompression/compression compute, no
+// shared state) that workers run concurrently, and a commit
 // (mem.CommitRegionMigration — every placement decision, admission check
-// and counter) that a turnstile forces into ascending job-index order.
-// The commit sequence the manager observes is therefore exactly the
-// serial one, so pool layouts, ErrTierFull fallbacks, float latency sums
-// and all counters match a single-threaded apply bit-for-bit.
+// and counter). Commits are sequenced by the conflict-aware scheduler in
+// schedule.go: each order-sensitive tier sees the commits touching it in
+// ascending job order (the serial execution's projection onto that tier),
+// and commits with disjoint footprints overlap. Pool layouts, admission
+// decisions and counters therefore match a single-threaded apply
+// bit-for-bit, while float latency sums are reduced from the job-indexed
+// results array after the pool drains.
 package sim
 
 import (
@@ -24,35 +27,6 @@ import (
 	"tierscape/internal/mem"
 	"tierscape/internal/policy"
 )
-
-// turnstile admits goroutines strictly in ticket order: await(i) blocks
-// until advance has been called i times.
-type turnstile struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	next int
-}
-
-func newTurnstile() *turnstile {
-	t := &turnstile{}
-	t.cond = sync.NewCond(&t.mu)
-	return t
-}
-
-func (t *turnstile) await(i int) {
-	t.mu.Lock()
-	for t.next != i {
-		t.cond.Wait()
-	}
-	t.mu.Unlock()
-}
-
-func (t *turnstile) advance() {
-	t.mu.Lock()
-	t.next++
-	t.mu.Unlock()
-	t.cond.Broadcast()
-}
 
 // applyMoves applies one window's migration plan with `workers` push
 // threads and returns the per-move results indexed like moves. A full
@@ -70,9 +44,12 @@ func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.Migrati
 		workers = n
 	}
 	if workers <= 1 {
-		// Serial fast path: fused prepare+commit per region, no pool.
+		// Serial fast path: fused prepare+commit per region, one scratch
+		// arena reused across the whole plan.
+		sc := &mem.MigrationScratch{}
+		defer sc.Drain()
 		for i, mv := range moves {
-			mr, err := migrateRegion(m, mv.Region, mv.Dest)
+			mr, err := migrateRegionScratch(m, mv.Region, mv.Dest, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -80,25 +57,28 @@ func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.Migrati
 		}
 		return results, nil
 	}
+	fps, prev := planFootprints(m, moves)
+	sched := newCommitScheduler(len(m.Tiers()), fps, prev)
 	errs := make([]error, n)
 	var nextJob atomic.Int64
 	nextJob.Store(-1)
-	ts := newTurnstile()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := &mem.MigrationScratch{}
+			defer sc.Drain()
 			for {
 				i := int(nextJob.Add(1))
 				if i >= n {
 					return
 				}
-				pr, err := m.PrepareRegionMigration(moves[i].Region, moves[i].Dest)
-				// Commit in strict job order; every job must take its turn
-				// (and advance) even after a prepare error, or later jobs
-				// would wait forever.
-				ts.await(i)
+				pr, err := m.PrepareRegionMigrationScratch(moves[i].Region, moves[i].Dest, sc)
+				// Commit once every footprint tier's stream reaches this
+				// job; every job must release its footprint (done) even
+				// after a prepare error, or successors would wait forever.
+				sched.await(i)
 				if err == nil {
 					var mr mem.MigrationResult
 					mr, err = m.CommitRegionMigration(pr)
@@ -107,7 +87,7 @@ func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.Migrati
 					}
 					results[i] = mr
 				}
-				ts.advance()
+				sched.done(i)
 				errs[i] = err
 			}
 		}()

@@ -94,6 +94,108 @@ func TestConcurrentPushThreadsZeroValue(t *testing.T) {
 	}
 }
 
+// TestConcurrentFallbackConflictDeterminism is the conflict-heavy
+// counterpart of the push-thread contract: CT-1 is clamped to a sliver of
+// pool pages so a full run's demotions pile into a nearly-full compressed
+// tier, forcing ErrTierFull fallbacks whose placement decisions couple
+// tiers. The full Result must still be deep-equal across PushThreads 1, 2
+// and 8. Runs under -race -count=3 in CI (the Concurrent suite).
+func TestConcurrentFallbackConflictDeterminism(t *testing.T) {
+	const poolLimit = 48 // pool pages; a sliver of the ~3072-page footprint
+	conflictRun := func(threads int) (*Result, int64) {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		m := standardMix(t, wl)
+		if err := m.SetCompressedTierLimit(mem.TierID(2), poolLimit); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Manager:      m,
+			Workload:     wl,
+			Model:        &model.Waterfall{Pct: 75}, // aggressive demotion
+			OpsPerWindow: 4000,
+			Windows:      5,
+			SampleRate:   Int(20),
+			PushThreads:  Int(threads),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.CompressedTierStats(mem.TierID(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st.FullRejects
+	}
+	base, fullRejects := conflictRun(1)
+	if fullRejects == 0 {
+		t.Fatal("no ErrTierFull fallbacks occurred; conflict test is vacuous")
+	}
+	for _, threads := range []int{2, 8} {
+		got, gotRejects := conflictRun(threads)
+		if gotRejects != fullRejects {
+			t.Fatalf("PushThreads=%d: %d full-rejects vs %d at PT1", threads, gotRejects, fullRejects)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("PushThreads=%d result differs from PushThreads=1 under ErrTierFull conflicts:\nPT1: %+v\nPT%d: %+v",
+				threads, base, threads, got)
+		}
+	}
+}
+
+// TestConcurrentApplyMovesFallbackConflicts drives applyMoves directly with
+// a plan engineered for maximum commit coupling: every region demoted into
+// one nearly-full CT (ErrTierFull fallbacks), a second wave re-targeting
+// the other CT (duplicate regions → chained commits whose sources depend on
+// the first wave's fallback outcomes), and promotions back to DRAM.
+// Per-move results, residency, counters and pool stats must match the
+// serial apply at every worker count.
+func TestConcurrentApplyMovesFallbackConflicts(t *testing.T) {
+	collect := func(workers int) ([]mem.MigrationResult, []int64, mem.Counters, int64) {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		m := standardMix(t, wl)
+		ct1, ct2 := mem.TierID(2), mem.TierID(3)
+		if err := m.SetCompressedTierLimit(ct1, 32); err != nil {
+			t.Fatal(err)
+		}
+		var moves []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: ct1})
+		}
+		for r := int64(0); r < m.NumRegions(); r += 2 {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: ct2})
+		}
+		for r := int64(0); r < m.NumRegions(); r += 3 {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
+		}
+		results, err := applyMoves(m, moves, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.CompressedTierStats(ct1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, m.TierPages(), m.Counters(), st.FullRejects
+	}
+	baseRes, basePages, baseCtr, baseFull := collect(1)
+	if baseFull == 0 {
+		t.Fatal("plan forced no ErrTierFull fallbacks; conflict test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, pages, ctr, full := collect(workers)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Fatalf("workers=%d: per-move results differ from serial", workers)
+		}
+		if !reflect.DeepEqual(pages, basePages) {
+			t.Fatalf("workers=%d: residency differs: %v vs %v", workers, pages, basePages)
+		}
+		if ctr != baseCtr || full != baseFull {
+			t.Fatalf("workers=%d: counters differ: %+v/%d vs %+v/%d",
+				workers, ctr, full, baseCtr, baseFull)
+		}
+	}
+}
+
 // TestConcurrentApplyMovesRepeatable hammers the worker pool directly:
 // the same plan applied at different worker counts on identically-built
 // managers yields identical per-move results in plan order.

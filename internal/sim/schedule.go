@@ -1,0 +1,204 @@
+// Conflict-aware commit scheduling for the migration apply engine.
+//
+// PR 3's apply pool serialized every commit through one global turnstile:
+// placement decisions were correct and deterministic, but PushThreads only
+// overlapped the compress/decompress prepare work. The commit scheduler
+// here replaces the turnstile with per-tier sequencers so commits whose
+// tier footprints are disjoint proceed concurrently.
+//
+// Determinism argument (the "per-tier serial projection"):
+//
+//   - Each move's footprint (mem.MoveFootprint) is the set of
+//     order-sensitive tiers its commit can read or mutate — source tiers,
+//     the destination, and every ErrTierFull/incompressible fallback
+//     target, conservatively including the fault-destination coupling set
+//     when a compressed-tier page can be displaced. Unbounded
+//     byte-addressable tiers see only commutative atomic adds and are
+//     excluded.
+//   - For every tier, the scheduler sequences the commits whose footprint
+//     contains that tier in ascending job index. A commit runs only when
+//     it heads the stream of every tier in its footprint, so each tier
+//     observes exactly the subsequence of commits that touch it, in plan
+//     order — the serial execution's projection onto that tier. Since a
+//     commit's outcome is a function of its region's page table and the
+//     states of the tiers in its footprint, every commit computes exactly
+//     its serial result.
+//   - Moves that address the same region are additionally chained by an
+//     explicit predecessor edge (region page-table state is order
+//     sensitive even when tier footprints are disjoint), and a chained
+//     move's footprint is widened with its predecessor's — after the
+//     earlier move the region's pages may sit in any of the predecessor's
+//     footprint tiers or a fault destination.
+//   - Float latency sums are not accumulated concurrently at all: workers
+//     write per-move results into a job-indexed array and sim.Run reduces
+//     it in index order after the pool drains, so floating-point addition
+//     order is fixed.
+//
+// Wakeups are targeted: completing a commit signals only the jobs it made
+// eligible. The old turnstile broadcast to every waiting worker on every
+// ticket (a thundering herd of workers re-checking a condvar predicate).
+// A job's wakeup channel is allocated lazily, only when its worker
+// actually has to block — in the common case a job is already eligible by
+// the time its prepare finishes and await is a mutex-protected flag read.
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/policy"
+)
+
+// commitScheduler sequences the commit phase of a window's moves. Job i
+// may commit once every tier stream in its footprint has reached it and
+// its same-region predecessor (if any) has committed.
+type commitScheduler struct {
+	mu       sync.Mutex
+	fps      []mem.TierSet
+	streams  [][]int         // per tier: ascending job indexes whose footprint holds the tier
+	pos      []int           // per tier: committed prefix length of the stream
+	next     []int           // per job: same-region successor (-1 = none)
+	pending  []int           // per job: grants outstanding before the job may commit
+	eligible []bool          // per job: all grants received, may commit
+	waiter   []chan struct{} // per job: lazily made when a worker must block
+	wakeups  int             // eligibility signals issued (test instrumentation)
+}
+
+// newCommitScheduler builds the per-tier commit streams for the given
+// footprints. prev[i] is the job index of the previous move addressing the
+// same region (-1 if none); numTiers is the manager's tier count.
+func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int) *commitScheduler {
+	n := len(fps)
+	s := &commitScheduler{
+		fps:      fps,
+		streams:  make([][]int, numTiers),
+		pos:      make([]int, numTiers),
+		next:     make([]int, n),
+		pending:  make([]int, n),
+		eligible: make([]bool, n),
+		waiter:   make([]chan struct{}, n),
+	}
+	for i := range s.next {
+		s.next[i] = -1
+	}
+	for i, fp := range fps {
+		for b := uint64(fp); b != 0; b &= b - 1 {
+			t := bits.TrailingZeros64(b)
+			s.streams[t] = append(s.streams[t], i)
+		}
+		s.pending[i] = fp.Len()
+		if prev[i] >= 0 {
+			s.next[prev[i]] = i
+			s.pending[i]++
+		}
+	}
+	s.mu.Lock()
+	for t := range s.streams {
+		if len(s.streams[t]) > 0 {
+			s.grantLocked(s.streams[t][0])
+		}
+	}
+	// Jobs with empty footprints and no predecessor never receive a grant;
+	// they are eligible immediately.
+	for i := range s.pending {
+		if s.pending[i] == 0 {
+			s.signalLocked(i)
+		}
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// grantLocked records that one of job i's ordering resources reached it.
+func (s *commitScheduler) grantLocked(i int) {
+	s.pending[i]--
+	if s.pending[i] == 0 {
+		s.signalLocked(i)
+	}
+}
+
+func (s *commitScheduler) signalLocked(i int) {
+	if s.eligible[i] {
+		// already signaled (empty-footprint init path)
+		return
+	}
+	s.eligible[i] = true
+	s.wakeups++
+	if ch := s.waiter[i]; ch != nil {
+		close(ch)
+	}
+}
+
+// await blocks until job i may commit. The fast path — the job became
+// eligible before its prepare finished — is a flag read; a wakeup channel
+// is allocated only when the worker really has to wait.
+func (s *commitScheduler) await(i int) {
+	s.mu.Lock()
+	if s.eligible[i] {
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.waiter[i] = ch
+	s.mu.Unlock()
+	<-ch
+}
+
+// done releases job i's footprint: every tier stream it headed advances,
+// and only the jobs thereby made eligible are woken.
+func (s *commitScheduler) done(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for b := uint64(s.fps[i]); b != 0; b &= b - 1 {
+		t := bits.TrailingZeros64(b)
+		s.pos[t]++
+		if s.pos[t] < len(s.streams[t]) {
+			s.grantLocked(s.streams[t][s.pos[t]])
+		}
+	}
+	if s.next[i] >= 0 {
+		s.grantLocked(s.next[i])
+	}
+}
+
+// planFootprints computes each move's commit footprint and same-region
+// predecessor from the manager's pre-plan residency. The first move of a
+// region gets its exact static footprint; later moves of the same region
+// are chained behind their predecessor and widened with the predecessor's
+// footprint plus the fault-destination coupling set, since the earlier
+// move may have left the region's pages in any of those tiers. Managers
+// beyond TierSet's 64-tier limit (or invalid moves, which fail
+// deterministically at prepare time) degrade to full serialization via a
+// single shared stream on tier 0.
+func planFootprints(m *mem.Manager, moves []policy.Move) ([]mem.TierSet, []int) {
+	n := len(moves)
+	fps := make([]mem.TierSet, n)
+	prev := make([]int, n)
+	last := make(map[mem.RegionID]int, n)
+	serializeAll := len(m.Tiers()) > 64
+	ordered := m.OrderedTiers()
+	for i, mv := range moves {
+		prev[i] = -1
+		var fp mem.TierSet
+		if serializeAll {
+			fp = mem.TierSet(0).With(mem.DRAMTier)
+		} else if f, err := m.MoveFootprint(mv.Region, mv.Dest); err == nil {
+			fp = f
+		} else {
+			// Invalid move: prepare will report the same error regardless
+			// of scheduling; no tier state is touched.
+			fp = 0
+		}
+		if j, ok := last[mv.Region]; ok {
+			prev[i] = j
+			fp = fp.Union(fps[j]).Union(m.FaultFallbackSet())
+			if ordered.Contains(mv.Dest) {
+				fp = fp.With(mv.Dest)
+			}
+		}
+		fps[i] = fp
+		last[mv.Region] = i
+	}
+	return fps, prev
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/policy"
+	"tierscape/internal/workload"
+)
+
+// eligible reports whether the scheduler would let job i commit right now
+// (its await would return without blocking).
+func eligible(s *commitScheduler, i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eligible[i]
+}
+
+func ts(ids ...mem.TierID) mem.TierSet {
+	var s mem.TierSet
+	for _, id := range ids {
+		s = s.With(id)
+	}
+	return s
+}
+
+func noPrev(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = -1
+	}
+	return p
+}
+
+// TestConcurrentCommitSchedulerTargetedWakeup is the thundering-herd
+// regression: the old turnstile's advance() broadcast to every waiting
+// worker on every ticket. The scheduler must instead wake only the job a
+// completion makes eligible: with three jobs serialized on one tier,
+// finishing job 0 readies job 1 but must NOT touch job 2.
+func TestConcurrentCommitSchedulerTargetedWakeup(t *testing.T) {
+	fps := []mem.TierSet{ts(1), ts(1), ts(1)}
+	s := newCommitScheduler(2, fps, noPrev(3))
+	if !eligible(s, 0) {
+		t.Fatal("job 0 heads the only stream; must be eligible at init")
+	}
+	if eligible(s, 1) || eligible(s, 2) {
+		t.Fatal("jobs 1 and 2 must wait behind job 0")
+	}
+	if s.wakeups != 1 {
+		t.Fatalf("init wakeups = %d, want 1 (job 0 only)", s.wakeups)
+	}
+	s.done(0)
+	if !eligible(s, 1) {
+		t.Fatal("job 1 must become eligible when job 0 completes")
+	}
+	if eligible(s, 2) {
+		t.Fatal("job 2 woken early: completion must signal only the next eligible committer")
+	}
+	if s.wakeups != 2 {
+		t.Fatalf("wakeups after done(0) = %d, want 2: exactly one signal per eligible job, no broadcast", s.wakeups)
+	}
+	s.done(1)
+	if !eligible(s, 2) {
+		t.Fatal("job 2 must become eligible when job 1 completes")
+	}
+	if s.wakeups != 3 {
+		t.Fatalf("total wakeups = %d, want one per job (3)", s.wakeups)
+	}
+}
+
+// TestConcurrentCommitSchedulerDisjointOverlap: commits whose footprints
+// share no tier are all eligible immediately — the whole point of the
+// conflict-aware scheduler.
+func TestConcurrentCommitSchedulerDisjointOverlap(t *testing.T) {
+	fps := []mem.TierSet{ts(2), ts(3), ts(4), 0}
+	s := newCommitScheduler(5, fps, noPrev(4))
+	for i := range fps {
+		if !eligible(s, i) {
+			t.Fatalf("job %d has a disjoint (or empty) footprint; must be eligible at init", i)
+		}
+	}
+	// Out-of-order completion of disjoint jobs must be accepted.
+	s.done(2)
+	s.done(0)
+	s.done(3)
+	s.done(1)
+}
+
+// TestConcurrentCommitSchedulerPartialOverlap: a job waits for exactly the
+// streams in its footprint — an overlap on one tier orders two jobs while
+// a third, disjoint job proceeds.
+func TestConcurrentCommitSchedulerPartialOverlap(t *testing.T) {
+	fps := []mem.TierSet{ts(1, 2), ts(2, 3), ts(4)}
+	s := newCommitScheduler(5, fps, noPrev(3))
+	if !eligible(s, 0) || !eligible(s, 2) {
+		t.Fatal("jobs 0 and 2 must start immediately")
+	}
+	if eligible(s, 1) {
+		t.Fatal("job 1 shares tier 2 with job 0 and must wait")
+	}
+	s.done(2) // disjoint completion must not unblock job 1
+	if eligible(s, 1) {
+		t.Fatal("disjoint completion unblocked job 1")
+	}
+	s.done(0)
+	if !eligible(s, 1) {
+		t.Fatal("job 1 must run after job 0 releases tier 2")
+	}
+}
+
+// TestConcurrentCommitSchedulerRegionChain: moves of the same region are
+// ordered by the predecessor edge even when their tier footprints are
+// disjoint (region page-table state is order-sensitive on its own).
+func TestConcurrentCommitSchedulerRegionChain(t *testing.T) {
+	fps := []mem.TierSet{ts(2), ts(3)}
+	prev := []int{-1, 0}
+	s := newCommitScheduler(4, fps, prev)
+	if !eligible(s, 0) {
+		t.Fatal("job 0 must be eligible")
+	}
+	if eligible(s, 1) {
+		t.Fatal("job 1 re-addresses job 0's region and must wait despite disjoint tiers")
+	}
+	s.done(0)
+	if !eligible(s, 1) {
+		t.Fatal("job 1 must run once its region predecessor commits")
+	}
+}
+
+// TestConcurrentPlanFootprints checks the schedule-time analysis on a real
+// manager: disjoint demotions, chained duplicate regions, and the
+// fault-fallback coupling widening for chained moves.
+func TestConcurrentPlanFootprints(t *testing.T) {
+	wl := workload.Memcached(workload.DriverYCSB, 1024, 4*mem.RegionPages, 1)
+	m := standardMix(t, wl)
+	ct1, ct2 := mem.TierID(2), mem.TierID(3)
+	moves := []policy.Move{
+		{Region: 0, Dest: ct1},
+		{Region: 1, Dest: ct2},
+		{Region: 0, Dest: ct2}, // duplicate region: must chain behind move 0
+		{Region: 2, Dest: mem.DRAMTier},
+	}
+	fps, prev := planFootprints(m, moves)
+	if want := []int{-1, -1, 0, -1}; !equalInts(prev, want) {
+		t.Fatalf("prev = %v, want %v", prev, want)
+	}
+	// DRAM and NVMM are unbounded here, so demotions to distinct CTs are
+	// disjoint.
+	if fps[0] != ts(ct1) || fps[1] != ts(ct2) {
+		t.Fatalf("demotion footprints = %b, %b; want {CT1}, {CT2}", fps[0], fps[1])
+	}
+	if fps[0].Overlaps(fps[1]) {
+		t.Fatal("disjoint demotions must not overlap")
+	}
+	// The chained move inherits its predecessor's footprint and adds its
+	// own destination.
+	if !fps[2].Contains(ct1) || !fps[2].Contains(ct2) {
+		t.Fatalf("chained footprint = %b, want ⊇ {CT1, CT2}", fps[2])
+	}
+	// All-DRAM region promoted to DRAM: skip-only, empty footprint.
+	if fps[3] != 0 {
+		t.Fatalf("skip-only footprint = %b, want empty", fps[3])
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentApplyMovesPrepareError: a move with an invalid destination
+// must surface its error deterministically while the rest of the plan
+// completes, at any worker count.
+func TestConcurrentApplyMovesPrepareError(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 4*mem.RegionPages, 1)
+		m := standardMix(t, wl)
+		moves := []policy.Move{
+			{Region: 0, Dest: mem.TierID(2)},
+			{Region: 1, Dest: mem.TierID(99)}, // no such tier
+			{Region: 2, Dest: mem.TierID(3)},
+		}
+		_, err := applyMoves(m, moves, workers)
+		if !errors.Is(err, mem.ErrNoSuchTier) {
+			t.Fatalf("workers=%d: err = %v, want ErrNoSuchTier", workers, err)
+		}
+	}
+}

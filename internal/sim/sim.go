@@ -349,7 +349,13 @@ func Run(cfg Config) (*Result, error) {
 // (mem.ErrTierFull) is not fatal — the manager completes the sweep and
 // its partial accounting (latency, moved, rejected) remains valid.
 func migrateRegion(m *mem.Manager, r mem.RegionID, dest mem.TierID) (mem.MigrationResult, error) {
-	mr, err := m.MigrateRegion(r, dest)
+	return migrateRegionScratch(m, r, dest, nil)
+}
+
+// migrateRegionScratch is migrateRegion drawing buffers from the worker's
+// scratch arena — the serial apply path reuses one arena across the plan.
+func migrateRegionScratch(m *mem.Manager, r mem.RegionID, dest mem.TierID, sc *mem.MigrationScratch) (mem.MigrationResult, error) {
+	mr, err := m.MigrateRegionScratch(r, dest, sc)
 	if err != nil && !errors.Is(err, mem.ErrTierFull) {
 		return mem.MigrationResult{}, err
 	}
