@@ -11,6 +11,8 @@
 //	                                     # identical at every -parallel value)
 //	experiments -fig 7 -push 8           # intra-run push threads (tables are
 //	                                     # identical at every -push value too)
+//	experiments -fig 7 -metrics-addr :9090   # live /metrics, /debug/vars, pprof
+//	experiments -fig 7 -events runs.jsonl    # deterministic per-run event stream
 //
 // Exhibits: 1, 2, 7, 8, 9, 10, 11, 12, 13, 14, table1, ablations.
 package main
@@ -19,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tierscape/internal/experiments"
+	"tierscape/internal/obs"
 )
 
 func main() {
@@ -30,9 +34,38 @@ func main() {
 	plot := flag.Bool("plot", false, "also render scatter plots for slowdown-vs-savings exhibits (7, 10, 13)")
 	par := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS); output is identical at any setting")
 	push := flag.Int("push", 0, "push threads applying migrations inside each run (0 = sim default); output is identical at any setting")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) while exhibits run")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the exhibits finish (for scraping a completed batch)")
+	events := flag.String("events", "", "append every run's deterministic JSONL event stream to this file")
 	flag.Parse()
 	experiments.SetParallelism(*par)
 	experiments.SetPushThreads(*push)
+
+	if *metricsAddr != "" {
+		live := obs.NewLive()
+		addr, err := obs.Serve(*metricsAddr, live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.SetLive(live)
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "holding metrics endpoint for %v\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		experiments.SetEventSink(f)
+	}
 
 	var s experiments.Scale
 	switch *scale {

@@ -8,6 +8,9 @@
 //	tierscape -workload memcached-ycsb -model am -alpha 0.1
 //	tierscape -workload redis -model waterfall -pct 25 -tiers spectrum
 //	tierscape -workload bfs -model baseline
+//	tierscape -model am -trace                       # per-window span trace
+//	tierscape -model am -events run.jsonl            # deterministic event stream
+//	tierscape -model am -metrics-addr :9090 -metrics-hold 1m
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tierscape"
 	"tierscape/internal/media"
@@ -39,6 +43,10 @@ func main() {
 	push := flag.Int("push", 2, "push threads applying migrations (results identical at any value)")
 	record := flag.String("record", "", "record the access trace to this file while running")
 	replay := flag.String("replay", "", "replay a recorded trace file as the workload")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
+	events := flag.String("events", "", "write the run's deterministic JSONL event stream to this file")
+	showTrace := flag.Bool("trace", false, "print the per-window span trace (phase wall times, prepare/commit split, scheduler stalls)")
 	flag.Parse()
 
 	var wl tierscape.Workload
@@ -89,6 +97,45 @@ func main() {
 		PushThreads:            *push,
 		PrefetchFaultThreshold: *prefetch,
 	}
+
+	// Observability: each enabled sink becomes one leg of a tee. The
+	// deterministic legs (JSONL stream, in-memory capture for -trace) see
+	// the same events at any -push value; the live aggregator additionally
+	// sees wall-clock runtime spans.
+	var recs []tierscape.Recorder
+	if *metricsAddr != "" {
+		live := tierscape.NewLiveMetrics()
+		addr, err := tierscape.ServeMetrics(*metricsAddr, live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+		recs = append(recs, live)
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "holding metrics endpoint for %v\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
+	}
+	var stream *tierscape.EventStream
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "events file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stream = tierscape.NewEventStream(f)
+		recs = append(recs, stream)
+	}
+	var capture *tierscape.MetricsRecorder
+	if *showTrace {
+		capture = &tierscape.MetricsRecorder{}
+		recs = append(recs, capture)
+	}
+	cfg.Recorder = tierscape.TeeRecorders(recs...)
 	var slowTiers map[string]tierscape.TierID
 	switch *tiers {
 	case "standard":
@@ -156,13 +203,43 @@ func main() {
 	for _, w := range res.Windows {
 		fmt.Printf("%6d  %6.1f  %9.2f  %5d  %6d  %.4f  %7.2f  %v\n",
 			w.Window, w.AppNs/1e6, w.DaemonNs/1e6, w.Moves, w.Faults,
-			w.TCO, (res.TCOMax-w.TCO)/res.TCOMax*100, w.TierPages)
+			w.TCO, w.SavingsPctVs(res.TCOMax), w.TierPages)
 	}
 	fmt.Printf("\nops: %d   throughput: %.0f ops/s (virtual)\n", res.Ops, res.ThroughputOpsPerSec())
 	fmt.Printf("latency: avg %.1fus  p95 %.1fus  p99.9 %.1fus\n",
 		res.OpLat.Mean()/1000, res.OpLat.Percentile(95)/1000, res.OpLat.Percentile(99.9)/1000)
 	fmt.Printf("TCO: max %.4f  avg %.4f  final %.4f   time-averaged savings %.2f%%\n",
 		res.TCOMax, res.AvgTCO, res.FinalTCO, res.SavingsPct())
+
+	if stream != nil {
+		if err := stream.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "event stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("events written to %s\n", *events)
+	}
+	if capture != nil {
+		printTrace(capture)
+	}
+}
+
+// printTrace renders the span-style per-window trace: wall time of each
+// control-loop phase, the apply phase's prepare/commit split, and the
+// commit scheduler's contention counters. All values are wall-clock
+// measurements — they vary run to run and are not part of the
+// deterministic results.
+func printTrace(m *tierscape.MetricsRecorder) {
+	fmt.Println("\nper-window trace (wall-clock, nondeterministic):")
+	fmt.Println("window  profile_us  solve_us  plan_us  apply_us  compact_us  prepare_us  commit_us  sched_jobs  wakeups  blocked  stall_us")
+	for _, rt := range m.Runtimes {
+		p := rt.PhaseWallNs
+		fmt.Printf("%6d  %10.1f  %8.1f  %7.1f  %8.1f  %10.1f  %10.1f  %9.1f  %10d  %7d  %7d  %8.1f\n",
+			rt.Window,
+			p[0]/1e3, p[1]/1e3, p[2]/1e3, p[3]/1e3, p[4]/1e3,
+			rt.PrepareWallNs/1e3, rt.CommitWallNs/1e3,
+			rt.Sched.Jobs, rt.Sched.Wakeups, rt.Sched.BlockedAwaits,
+			float64(rt.Sched.StallNs)/1e3)
+	}
 }
 
 // tierFile is the JSON schema for custom tier setups.

@@ -58,11 +58,7 @@ func CompressibilityAware(s Scale) (*Table, error) {
 	base := results[0]
 	for i, cfg := range variants {
 		res := results[i+1]
-		rejects := 0
-		for _, w := range res.Windows {
-			rejects += w.Rejected
-		}
-		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), rejects)
+		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), res.TotalRejected())
 	}
 	t.Note("aware probing avoids sending incompressible regions to compressed tiers")
 	return t, nil

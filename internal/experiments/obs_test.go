@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tierscape/internal/obs"
+)
+
+// TestConcurrentEventStreamIdenticalBytes extends the engine's determinism
+// guarantee to the observability sink: the JSONL event stream a harness
+// emits must be byte-identical whether its runs execute serially or fan
+// out, and whatever the intra-run push-thread count — per-job buffers
+// flush in job-index order, so worker scheduling can't reorder events.
+// Runs under -race in CI (the Concurrent suite).
+func TestConcurrentEventStreamIdenticalBytes(t *testing.T) {
+	s := SmallScale()
+	capture := func(parallel, push int) (stream, csv string) {
+		var buf bytes.Buffer
+		SetEventSink(&buf)
+		defer SetEventSink(nil)
+		l := obs.NewLive()
+		SetLive(l)
+		defer SetLive(nil)
+		withParallelism(t, parallel, func() {
+			withPushThreads(t, push, func() {
+				tab, err := Fig10(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				csv = tab.CSV()
+			})
+		})
+		if vars, ok := l.Vars().(map[string]any); !ok || vars["windows"].(int64) == 0 {
+			t.Fatal("live aggregator saw no windows")
+		}
+		return buf.String(), csv
+	}
+	baseStream, baseCSV := capture(1, 1)
+	if runs := strings.Count(baseStream, `"e":"run"`); runs < 2 {
+		t.Fatalf("stream annotates %d runs; Fig10 submits a multi-job set", runs)
+	}
+	if !strings.Contains(baseStream, `"e":"window"`) {
+		t.Fatal("stream carries no window snapshots")
+	}
+	for _, c := range []struct{ parallel, push int }{{4, 2}, {2, 8}} {
+		stream, csv := capture(c.parallel, c.push)
+		if csv != baseCSV {
+			t.Fatalf("parallel=%d push=%d: table differs from serial", c.parallel, c.push)
+		}
+		if stream != baseStream {
+			t.Fatalf("parallel=%d push=%d: event stream is not byte-identical to serial",
+				c.parallel, c.push)
+		}
+	}
+}
+
+// TestEventSinkWithoutLive pins the -events-without--metrics-addr
+// configuration: an event sink with no live aggregator must stream, not
+// crash (a nil *obs.Live rebound as a non-nil Recorder interface once
+// slipped past obs.Tee's nil check and dereferenced nil).
+func TestEventSinkWithoutLive(t *testing.T) {
+	var buf bytes.Buffer
+	SetEventSink(&buf)
+	defer SetEventSink(nil)
+	if _, err := Fig8(SmallScale()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"e":"window"`) {
+		t.Fatal("stream carries no window snapshots")
+	}
+}

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
+	"tierscape/internal/obs"
 	"tierscape/internal/sim"
 	"tierscape/internal/workload"
 )
@@ -58,6 +61,48 @@ func SetPushThreads(n int) {
 // PushThreads reports the configured intra-run apply concurrency
 // (0 = sim default).
 func PushThreads() int { return int(pushThreads.Load()) }
+
+// live, when set, is attached as a Recorder to every run the engine
+// starts, so the introspection endpoints aggregate across the whole
+// experiment batch.
+var live atomic.Pointer[obs.Live]
+
+// SetLive attaches l to every subsequently started run (nil detaches).
+// Live is concurrency-safe, so one aggregator serves all workers.
+func SetLive(l *obs.Live) { live.Store(l) }
+
+// eventSink, when set, receives every run's deterministic JSONL event
+// stream. Each job records into a private buffer and completed sets flush
+// in job-index order under eventMu, so the sink's bytes are identical at
+// every parallelism and push-thread setting.
+var (
+	eventMu   sync.Mutex
+	eventSink io.Writer
+)
+
+// SetEventSink streams every subsequent run's events (JSONL, one
+// {"e":"run"} annotation per job followed by its windows and moves) to w;
+// nil disables. The writer needs no locking of its own — flushes are
+// serialized here.
+func SetEventSink(w io.Writer) {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	eventSink = w
+}
+
+func currentEventSink() io.Writer {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	return eventSink
+}
+
+// modelName labels a job's model for event-stream annotations.
+func modelName(mdl model.Model) string {
+	if mdl == nil {
+		return "baseline"
+	}
+	return mdl.Name()
+}
 
 // RunSet executes n independent jobs across Parallelism() workers and
 // blocks until all complete. Jobs are dispatched by index; every job runs
@@ -119,8 +164,10 @@ type runJob struct {
 	scale *Scale
 }
 
-// run executes the job serially; the engine calls it from a worker.
-func (j runJob) run(s Scale) (*sim.Result, error) {
+// run executes the job serially; the engine calls it from a worker. rec
+// is the engine-provided Recorder (live aggregator and/or event stream;
+// nil when observability is off); j.cfg may still override it.
+func (j runJob) run(s Scale, rec obs.Recorder) (*sim.Result, error) {
 	if j.scale != nil {
 		s = *j.scale
 	}
@@ -140,6 +187,7 @@ func (j runJob) run(s Scale) (*sim.Result, error) {
 		OpsPerWindow: s.OpsPerWindow,
 		Windows:      s.Windows,
 		SampleRate:   sim.Int(s.SampleRate),
+		Recorder:     rec,
 	}
 	if n := PushThreads(); n > 0 {
 		cfg.PushThreads = sim.Int(n)
@@ -152,11 +200,39 @@ func (j runJob) run(s Scale) (*sim.Result, error) {
 
 // runJobs fans jobs across the worker pool and returns their results in
 // job order. On error the whole set is discarded (remaining jobs still ran
-// to completion) and the lowest-index error is returned.
+// to completion) and the lowest-index error is returned. When an event
+// sink is configured, each job streams into a private buffer and the
+// buffers flush to the sink in job-index order after the set completes —
+// deterministic bytes regardless of worker scheduling.
 func runJobs(s Scale, jobs []runJob) ([]*sim.Result, error) {
+	// Rebind the typed pointer as an interface only when non-nil: a nil
+	// *obs.Live stored in a non-nil Recorder interface would defeat the
+	// nil checks in obs.Tee and below.
+	var l obs.Recorder
+	if lp := live.Load(); lp != nil {
+		l = lp
+	}
+	sink := currentEventSink()
+	var bufs []bytes.Buffer
+	var streams []*obs.Stream
+	if sink != nil {
+		bufs = make([]bytes.Buffer, len(jobs))
+		streams = make([]*obs.Stream, len(jobs))
+		for i := range jobs {
+			streams[i] = obs.NewStream(&bufs[i])
+		}
+	}
 	results := make([]*sim.Result, len(jobs))
 	err := RunSet(len(jobs), func(i int) error {
-		res, err := jobs[i].run(s)
+		var rec obs.Recorder
+		if streams != nil {
+			streams[i].Annotate(fmt.Sprintf("job=%d workload=%s model=%s",
+				i, jobs[i].spec.Name, modelName(jobs[i].mdl)))
+			rec = obs.Tee(l, streams[i])
+		} else if l != nil {
+			rec = l
+		}
+		res, err := jobs[i].run(s, rec)
 		if err != nil {
 			return err
 		}
@@ -165,6 +241,18 @@ func runJobs(s Scale, jobs []runJob) ([]*sim.Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		eventMu.Lock()
+		defer eventMu.Unlock()
+		for i := range streams {
+			if err := streams[i].Err(); err != nil {
+				return nil, fmt.Errorf("experiments: event stream for job %d: %w", i, err)
+			}
+			if _, err := sink.Write(bufs[i].Bytes()); err != nil {
+				return nil, fmt.Errorf("experiments: flushing events for job %d: %w", i, err)
+			}
+		}
 	}
 	return results, nil
 }

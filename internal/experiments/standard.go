@@ -127,7 +127,7 @@ func Fig8(s Scale) (*Table, error) {
 	max := res.TCOMax
 	for _, w := range res.Windows {
 		t.Addf(w.Window, w.TierPages[0], w.TierPages[1], w.TierPages[2], w.TierPages[3],
-			w.TCO, (max-w.TCO)/max*100)
+			w.TCO, w.SavingsPctVs(max))
 	}
 	t.Note("pages first waterfall to NVMM, then age toward CT-2; TCO falls over windows")
 	return t, nil

@@ -73,11 +73,7 @@ func Fig14(s Scale) (*Table, error) {
 	base := results[0]
 	t.Addf("baseline", 1.0, 0.0, 0.0)
 	for _, res := range results[1:] {
-		var solverNs float64
-		for _, w := range res.Windows {
-			solverNs += w.SolverNs
-		}
-		t.Addf(res.ModelName, base.AppNs/res.AppNs, res.DaemonNs/1e6, solverNs/1e6)
+		t.Addf(res.ModelName, base.AppNs/res.AppNs, res.DaemonNs/1e6, res.TotalSolverNs()/1e6)
 	}
 	t.Note("paper: profiling is minimal; local vs remote solver is a negligible difference")
 	return t, nil
@@ -110,11 +106,7 @@ func SolverAblation(s Scale) (*Table, error) {
 	base := results[0]
 	for i, cfg := range solvers {
 		res := results[i+1]
-		var solverNs float64
-		for _, w := range res.Windows {
-			solverNs += w.SolverNs
-		}
-		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), solverNs/1e6)
+		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), res.TotalSolverNs()/1e6)
 	}
 	return t, nil
 }
@@ -152,11 +144,7 @@ func FilterAblation(s Scale) (*Table, error) {
 	base := results[0]
 	for i, cfg := range settings {
 		res := results[i+1]
-		var moves int
-		for _, w := range res.Windows {
-			moves += w.Moves
-		}
-		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), res.Faults, moves)
+		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), res.Faults, res.TotalMoves())
 	}
 	return t, nil
 }
@@ -247,11 +235,7 @@ func WindowAblation(s Scale) (*Table, error) {
 	}
 	for i, factor := range factors {
 		base, res := results[2*i], results[2*i+1]
-		var moves int
-		for _, w := range res.Windows {
-			moves += w.Moves
-		}
-		t.Addf(s.OpsPerWindow/factor, res.SlowdownPctVs(base), res.SavingsPct(), moves)
+		t.Addf(s.OpsPerWindow/factor, res.SlowdownPctVs(base), res.SavingsPct(), res.TotalMoves())
 	}
 	return t, nil
 }
@@ -296,11 +280,7 @@ func TelemetryAblation(s Scale) (*Table, error) {
 	for i, cfg := range sources {
 		res := results[i+1]
 		// Profiling tax approximated from the daemon totals minus solver.
-		var solver float64
-		for _, w := range res.Windows {
-			solver += w.SolverNs
-		}
-		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), (res.DaemonNs-solver)/1e6)
+		t.Addf(cfg.name, res.SlowdownPctVs(base), res.SavingsPct(), (res.DaemonNs-res.TotalSolverNs())/1e6)
 	}
 	t.Note("accessed bits see touched pages, PEBS sees access counts; both drive AM usefully")
 	return t, nil

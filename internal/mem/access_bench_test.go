@@ -1,0 +1,53 @@
+// Access-path benchmarks: the guard for the observability layer's
+// zero-overhead contract. sim.Run's inner loop calls Manager.Access once
+// per modeled memory access, so this path must stay allocation-free and
+// its wall time must not move when the obs layer is compiled in but no
+// Recorder is configured. Before/after numbers are recorded in
+// BENCH_obs.json at the repo root.
+package mem
+
+import (
+	"testing"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/ztier"
+)
+
+// accessBenchManager builds the standard-mix shape (DRAM + NVMM + two
+// compressed tiers) with every page resident in DRAM, so the measured
+// path is the byte-addressable hit — the overwhelmingly common case in
+// sim.Run's hot loop.
+func accessBenchManager(b *testing.B) *Manager {
+	b.Helper()
+	m, err := NewManager(Config{
+		NumPages: 8 * RegionPages,
+		Content:  corpus.NewGenerator(corpus.Dickens, 7),
+		ByteTiers: []media.Kind{
+			media.NVMM,
+		},
+		CompressedTiers: []ztier.Config{
+			{Codec: "lzo", Pool: "zsmalloc", Media: media.DRAM},
+			{Codec: "zstd", Pool: "zsmalloc", Media: media.NVMM},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkRecorderOffAccess measures the DRAM-hit access path. Its name
+// keeps it inside CI's bench-smoke regex (`Recorder|ApplyMoves|MCKP`): the
+// smoke run fails if this path ever starts allocating.
+func BenchmarkRecorderOffAccess(b *testing.B) {
+	m := accessBenchManager(b)
+	n := PageID(m.NumPages())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Access(PageID(i)%n, i%8 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

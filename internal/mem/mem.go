@@ -1035,6 +1035,50 @@ func (m *Manager) TierFootprintBytes() []int64 {
 	return out
 }
 
+// TierTelemetry is the per-tier occupancy and compression snapshot the
+// observability layer publishes at every window boundary. All slices are
+// indexed by TierID; byte-addressable tiers hold zeros in the
+// compression-specific columns.
+type TierTelemetry struct {
+	// Pages is resident logical pages per tier (TierPages).
+	Pages []int64
+	// Bytes is the physical footprint per tier (TierFootprintBytes).
+	Bytes []int64
+	// Ratio is each compressed tier's payload compression ratio
+	// (ztier.Stats.Ratio); 0 for byte-addressable or empty tiers.
+	Ratio []float64
+	// Frag is each compressed tier's zpool internal fragmentation
+	// (ztier.Stats.Fragmentation); 0 for byte-addressable or empty tiers.
+	Frag []float64
+}
+
+// TierTelemetry gathers TierPages, TierFootprintBytes and each compressed
+// tier's ratio/fragmentation in one pass. Every value is a pure function
+// of placement state, so successive calls without intervening mutations
+// are identical — the observability layer's determinism relies on it.
+func (m *Manager) TierTelemetry() TierTelemetry {
+	n := len(m.tiers)
+	tt := TierTelemetry{
+		Pages: make([]int64, n),
+		Bytes: make([]int64, n),
+		Ratio: make([]float64, n),
+		Frag:  make([]float64, n),
+	}
+	for i, b := range m.ba {
+		tt.Pages[i] = b.pages.Load()
+		tt.Bytes[i] = tt.Pages[i] * PageSize
+	}
+	for i, c := range m.cts {
+		id := len(m.ba) + i
+		s := c.tier.Stats()
+		tt.Pages[id] = c.pages.Load()
+		tt.Bytes[id] = s.PoolBytes()
+		tt.Ratio[id] = s.Ratio()
+		tt.Frag[id] = s.Fragmentation()
+	}
+	return tt
+}
+
 // CompressedTierStats returns the ztier stats for compressed tier id.
 func (m *Manager) CompressedTierStats(id TierID) (ztier.Stats, error) {
 	ct, ok := m.ct(id)

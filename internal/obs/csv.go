@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVWriter is a Recorder that renders window snapshots as CSV, one row
+// per window, following the figure harnesses' column conventions (header
+// row, %g floats, per-tier column groups suffixed by TierID). Like
+// Stream, it encodes only the deterministic channel: move events and
+// runtime telemetry are dropped, so the emitted bytes are identical at
+// every PushThreads.
+//
+// The header is derived from the first snapshot's tier count, so one
+// writer serves any tier lineup but must not be shared by runs with
+// different lineups.
+type CSVWriter struct {
+	w      io.Writer
+	header bool
+	err    error
+}
+
+// NewCSV returns a CSVWriter emitting to w.
+func NewCSV(w io.Writer) *CSVWriter { return &CSVWriter{w: w} }
+
+// RecordWindow implements Recorder.
+func (c *CSVWriter) RecordWindow(ws WindowSnapshot) {
+	if c.err != nil {
+		return
+	}
+	tiers := len(ws.TierPages)
+	if !c.header {
+		c.header = true
+		cols := []string{
+			"window", "app_ns", "daemon_ns", "solver_ns", "migrate_ns",
+			"compact_ns", "profile_ns", "prefetch_ns", "tco", "faults",
+			"moves", "rejected", "skipped", "tier_full_moves",
+			"compacted_pages", "dropped_pressure", "dropped_capacity",
+			"dropped_budget",
+		}
+		for t := 0; t < tiers; t++ {
+			cols = append(cols,
+				fmt.Sprintf("tier%d_pages", t), fmt.Sprintf("tier%d_bytes", t),
+				fmt.Sprintf("tier%d_ratio", t), fmt.Sprintf("tier%d_frag", t))
+		}
+		if _, err := io.WriteString(c.w, strings.Join(cols, ",")+"\n"); err != nil {
+			c.err = err
+			return
+		}
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	cols := []string{
+		strconv.Itoa(ws.Window), g(ws.AppNs), g(ws.DaemonNs), g(ws.SolverNs),
+		g(ws.MigrateNs), g(ws.CompactNs), g(ws.ProfileNs), g(ws.PrefetchNs),
+		g(ws.TCO), strconv.FormatInt(ws.Faults, 10),
+		strconv.Itoa(ws.Moves), strconv.Itoa(ws.Rejected),
+		strconv.Itoa(ws.Skipped), strconv.Itoa(ws.TierFullMoves),
+		strconv.Itoa(ws.CompactedPages), strconv.Itoa(ws.DroppedPressure),
+		strconv.Itoa(ws.DroppedCapacity), strconv.Itoa(ws.DroppedBudget),
+	}
+	for t := 0; t < tiers; t++ {
+		cols = append(cols,
+			strconv.FormatInt(ws.TierPages[t], 10),
+			strconv.FormatInt(ws.TierBytes[t], 10),
+			g(ws.TierRatio[t]), g(ws.TierFrag[t]))
+	}
+	if _, err := io.WriteString(c.w, strings.Join(cols, ",")+"\n"); err != nil {
+		c.err = err
+	}
+}
+
+// RecordMove implements Recorder; the CSV carries windows only.
+func (c *CSVWriter) RecordMove(MoveEvent) {}
+
+// RecordRuntime implements Recorder; wall-clock telemetry is excluded.
+func (c *CSVWriter) RecordRuntime(WindowRuntime) {}
+
+// Err returns the first write error, if any.
+func (c *CSVWriter) Err() error { return c.err }

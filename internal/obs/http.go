@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WritePrometheus renders the aggregator's state in the Prometheus text
+// exposition format (hand-rolled; this module takes no dependencies).
+// Series are emitted in a fixed order — metrics alphabetic within their
+// group, labels in tier/flow index order — so scrapes diff cleanly.
+func (l *Live) WritePrometheus(w io.Writer) error {
+	s := l.snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v any) {
+		p("# HELP tierscape_%s %s\n# TYPE tierscape_%s counter\ntierscape_%s %v\n",
+			name, help, name, name, v)
+	}
+	counter("windows_total", "Profile windows completed.", s.windows)
+	counter("moved_pages_total", "Pages migrated to their planned destination.", s.moves)
+	counter("rejected_pages_total", "Pages placed at a fallback tier instead of their destination.", s.rejected)
+	counter("skipped_pages_total", "Planned pages already resident in their destination.", s.skipped)
+	counter("tier_full_moves_total", "Region moves whose commit observed a full destination (ErrTierFull).", s.tierFullMoves)
+	counter("compacted_pages_total", "Pool pages reclaimed by post-migration compaction.", s.compactedPages)
+	counter("filter_dropped_total{reason=\"pressure\"}", "Moves dropped by the migration filter.", s.droppedPressure)
+	counter("filter_dropped_total{reason=\"capacity\"}", "Moves dropped by the migration filter.", s.droppedCapacity)
+	counter("filter_dropped_total{reason=\"budget\"}", "Moves dropped by the migration filter.", s.droppedBudget)
+	counter("app_seconds_total", "Application virtual time (modeled).", s.appNs/1e9)
+	counter("daemon_seconds_total", "TS-Daemon virtual work (modeled).", s.daemonNs/1e9)
+	counter("solver_seconds_total", "Modeled MCKP solve time.", s.solverNs/1e9)
+
+	p("# HELP tierscape_phase_wall_seconds_total Wall time per control-loop phase.\n")
+	p("# TYPE tierscape_phase_wall_seconds_total counter\n")
+	for ph := 0; ph < NumPhases; ph++ {
+		p("tierscape_phase_wall_seconds_total{phase=%q} %v\n", Phase(ph).String(), s.phaseNs[ph]/1e9)
+	}
+	counter("prepare_wall_seconds_total", "Wall time in migration prepare, summed across push threads.", s.prepareNs/1e9)
+	counter("commit_wall_seconds_total", "Wall time in migration commit, summed across push threads.", s.commitNs/1e9)
+	counter("sched_wakeups_total", "Commit-scheduler eligibility signals issued.", s.wakeups)
+	counter("sched_blocked_awaits_total", "Commits whose worker blocked waiting for a predecessor.", s.blocked)
+	counter("sched_stall_seconds_total", "Wall time workers spent blocked in commit await.", float64(s.stallNs)/1e9)
+
+	if len(s.flows) > 0 {
+		p("# HELP tierscape_migrated_pages_total Pages migrated by source and destination tier.\n")
+		p("# TYPE tierscape_migrated_pages_total counter\n")
+		for _, f := range s.flows {
+			p("tierscape_migrated_pages_total{from=%q,to=%q} %d\n",
+				strconv.Itoa(f.From), strconv.Itoa(f.To), f.Pages)
+		}
+	}
+	if s.hasLast {
+		gauge := func(name, help string, f func(t int) any) {
+			p("# HELP tierscape_%s %s\n# TYPE tierscape_%s gauge\n", name, help, name)
+			for t := range s.last.TierPages {
+				p("tierscape_%s{tier=%q} %v\n", name, strconv.Itoa(t), f(t))
+			}
+		}
+		gauge("tier_pages", "Resident logical pages per tier at the last window boundary.",
+			func(t int) any { return s.last.TierPages[t] })
+		gauge("tier_bytes", "Physical footprint in bytes per tier at the last window boundary.",
+			func(t int) any { return s.last.TierBytes[t] })
+		gauge("tier_compression_ratio", "Compressed payload over logical bytes per tier (0 for byte-addressable).",
+			func(t int) any { return s.last.TierRatio[t] })
+		gauge("tier_fragmentation", "Zpool internal fragmentation per tier (0 for byte-addressable).",
+			func(t int) any { return s.last.TierFrag[t] })
+		p("# HELP tierscape_tco Memory TCO at the last window boundary (dollar units).\n")
+		p("# TYPE tierscape_tco gauge\ntierscape_tco %v\n", s.last.TCO)
+		p("# HELP tierscape_faults_total Cumulative compressed-tier faults of the last recorded run.\n")
+		p("# TYPE tierscape_faults_total gauge\ntierscape_faults_total %d\n", s.last.Faults)
+	}
+	return err
+}
+
+// expvar.Publish is global and permanent, so the "tierscape" variable is
+// registered once and reads through a swappable pointer — each Live that
+// calls PublishExpvar becomes the one the variable reports.
+var (
+	expvarOnce sync.Once
+	expvarLive atomic.Pointer[Live]
+)
+
+// PublishExpvar exposes this aggregator as the expvar variable
+// "tierscape" (shown by /debug/vars). Later calls from another Live
+// repoint the variable to it.
+func (l *Live) PublishExpvar() {
+	expvarLive.Store(l)
+	expvarOnce.Do(func() {
+		expvar.Publish("tierscape", expvar.Func(func() any {
+			if v := expvarLive.Load(); v != nil {
+				return v.Vars()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the live-introspection mux over l:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar JSON (includes the "tierscape" variable)
+//	/debug/pprof/*  the net/http/pprof suite
+func Handler(l *Live) http.Handler {
+	l.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = l.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090", or ":0" to pick a free port), serves
+// Handler(l) on it for the life of the process, and returns the bound
+// address.
+func Serve(addr string, l *Live) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(l)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Live aggregates events into the current values behind the introspection
+// endpoints (/metrics, /debug/vars). Unlike the per-run sinks it is safe
+// for concurrent use and is meant to be shared: the experiment engine
+// attaches one Live to every run in a set, so counters accumulate across
+// runs while gauges reflect the most recently completed window.
+type Live struct {
+	mu sync.Mutex
+
+	// Counters, accumulated across every recorded window.
+	windows, moves, rejected, skipped, tierFullMoves int64
+	compactedPages                                   int64
+	droppedPressure, droppedCapacity, droppedBudget  int64
+	appNs, daemonNs, solverNs                        float64
+
+	// Runtime counters (wall clock; only Live sees these).
+	phaseNs             [NumPhases]float64
+	prepareNs, commitNs float64
+	wakeups, blocked    int64
+	stallNs             int64
+
+	// Gauges: the last window snapshot recorded (any run).
+	last    WindowSnapshot
+	hasLast bool
+
+	// flows accumulates the src→dst migration matrix across windows.
+	flows map[[2]int]*TierFlow
+}
+
+// NewLive returns an empty aggregator.
+func NewLive() *Live {
+	return &Live{flows: make(map[[2]int]*TierFlow)}
+}
+
+// RecordWindow implements Recorder.
+func (l *Live) RecordWindow(w WindowSnapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.windows++
+	l.moves += int64(w.Moves)
+	l.rejected += int64(w.Rejected)
+	l.skipped += int64(w.Skipped)
+	l.tierFullMoves += int64(w.TierFullMoves)
+	l.compactedPages += int64(w.CompactedPages)
+	l.droppedPressure += int64(w.DroppedPressure)
+	l.droppedCapacity += int64(w.DroppedCapacity)
+	l.droppedBudget += int64(w.DroppedBudget)
+	l.appNs += w.AppNs
+	l.daemonNs += w.DaemonNs
+	l.solverNs += w.SolverNs
+	for _, f := range w.Migrations {
+		k := [2]int{f.From, f.To}
+		c, ok := l.flows[k]
+		if !ok {
+			c = &TierFlow{From: f.From, To: f.To}
+			l.flows[k] = c
+		}
+		c.Pages += f.Pages
+		c.Rejected += f.Rejected
+	}
+	l.last = w
+	l.hasLast = true
+}
+
+// RecordMove implements Recorder; moves are already aggregated into the
+// window snapshot's migration matrix, so Live ignores the event stream.
+func (l *Live) RecordMove(MoveEvent) {}
+
+// RecordRuntime implements Recorder.
+func (l *Live) RecordRuntime(rt WindowRuntime) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for p, ns := range rt.PhaseWallNs {
+		l.phaseNs[p] += ns
+	}
+	l.prepareNs += rt.PrepareWallNs
+	l.commitNs += rt.CommitWallNs
+	l.wakeups += int64(rt.Sched.Wakeups)
+	l.blocked += int64(rt.Sched.BlockedAwaits)
+	l.stallNs += rt.Sched.StallNs
+}
+
+// liveSnapshot is a consistent copy of the aggregator's state, taken
+// under the lock, from which the exposition formats render.
+type liveSnapshot struct {
+	windows, moves, rejected, skipped, tierFullMoves int64
+	compactedPages                                   int64
+	droppedPressure, droppedCapacity, droppedBudget  int64
+	appNs, daemonNs, solverNs                        float64
+	phaseNs                                          [NumPhases]float64
+	prepareNs, commitNs                              float64
+	wakeups, blocked, stallNs                        int64
+	last                                             WindowSnapshot
+	hasLast                                          bool
+	flows                                            []TierFlow
+}
+
+func (l *Live) snapshot() liveSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := liveSnapshot{
+		windows: l.windows, moves: l.moves, rejected: l.rejected,
+		skipped: l.skipped, tierFullMoves: l.tierFullMoves,
+		compactedPages:  l.compactedPages,
+		droppedPressure: l.droppedPressure, droppedCapacity: l.droppedCapacity,
+		droppedBudget: l.droppedBudget,
+		appNs:         l.appNs, daemonNs: l.daemonNs, solverNs: l.solverNs,
+		phaseNs:   l.phaseNs,
+		prepareNs: l.prepareNs, commitNs: l.commitNs,
+		wakeups: l.wakeups, blocked: l.blocked, stallNs: l.stallNs,
+		last: l.last, hasLast: l.hasLast,
+	}
+	for _, f := range l.flows {
+		s.flows = append(s.flows, *f)
+	}
+	sort.Slice(s.flows, func(a, b int) bool {
+		if s.flows[a].From != s.flows[b].From {
+			return s.flows[a].From < s.flows[b].From
+		}
+		return s.flows[a].To < s.flows[b].To
+	})
+	return s
+}
+
+// Vars returns the aggregator's state as a plain map for expvar
+// exposition under the "tierscape" variable.
+func (l *Live) Vars() any {
+	s := l.snapshot()
+	phases := make(map[string]float64, NumPhases)
+	for p := 0; p < NumPhases; p++ {
+		phases[Phase(p).String()] = s.phaseNs[p]
+	}
+	v := map[string]any{
+		"windows":          s.windows,
+		"moved_pages":      s.moves,
+		"rejected_pages":   s.rejected,
+		"skipped_pages":    s.skipped,
+		"tier_full_moves":  s.tierFullMoves,
+		"compacted_pages":  s.compactedPages,
+		"dropped_pressure": s.droppedPressure,
+		"dropped_capacity": s.droppedCapacity,
+		"dropped_budget":   s.droppedBudget,
+		"app_ns":           s.appNs,
+		"daemon_ns":        s.daemonNs,
+		"solver_ns":        s.solverNs,
+		"phase_wall_ns":    phases,
+		"prepare_wall_ns":  s.prepareNs,
+		"commit_wall_ns":   s.commitNs,
+		"sched_wakeups":    s.wakeups,
+		"sched_blocked":    s.blocked,
+		"sched_stall_ns":   s.stallNs,
+		"migrations":       s.flows,
+	}
+	if s.hasLast {
+		v["last_window"] = s.last
+	}
+	return v
+}

@@ -1,0 +1,300 @@
+// Package obs is the runtime observability layer of the TierScape
+// reproduction: typed per-window snapshots, a per-move event stream, a
+// span-style trace of each TS-Daemon control-loop phase, and pluggable
+// sinks (JSONL, CSV, expvar/Prometheus) behind one small Recorder
+// interface.
+//
+// Two channels with different guarantees flow through a Recorder:
+//
+//   - Deterministic events — WindowSnapshot and MoveEvent — carry only
+//     virtual-clock and placement data. They are byte-reproducible: the
+//     same configuration produces the identical event stream at every
+//     PushThreads and parallelism setting (the simulator's determinism
+//     contract extends to them). These are what Result.Windows retains
+//     and what the JSONL/CSV sinks encode.
+//   - Runtime telemetry — WindowRuntime — carries wall-clock phase
+//     durations, scheduler stalls and wakeups. It is measured from the
+//     real clock, varies run to run, and is deliberately excluded from
+//     the deterministic stream; it feeds the live /metrics and /debug/vars
+//     introspection endpoints instead.
+//
+// The package deliberately imports nothing from the rest of the module:
+// tiers are plain ints, times are float64 nanoseconds. A nil Recorder is
+// the disabled state — producers guard every emission with a single nil
+// check and do no other work, so observability costs nothing when off
+// (verified by the BenchmarkRecorder* guards).
+package obs
+
+// Recorder receives observability events from a simulation run. A nil
+// Recorder disables observability; producers must emit nothing and
+// allocate nothing in that case. Implementations must tolerate concurrent
+// calls when shared across runs (Live does); per-run sinks (Stream, Mem)
+// are called from the run's control loop only, never concurrently.
+type Recorder interface {
+	// RecordWindow receives the deterministic snapshot of one completed
+	// profile window. The snapshot's slices are owned by the receiver:
+	// producers build fresh slices per window.
+	RecordWindow(WindowSnapshot)
+	// RecordMove receives one applied migration move. Moves of a window
+	// arrive after its apply phase completes, in ascending job order —
+	// per-worker shard buffers are merged by job index before delivery,
+	// so the order (and content) is identical at every PushThreads.
+	RecordMove(MoveEvent)
+	// RecordRuntime receives the wall-clock telemetry of one window:
+	// phase durations and commit-scheduler stalls. Values are
+	// nondeterministic by nature and never enter the deterministic
+	// stream.
+	RecordRuntime(WindowRuntime)
+}
+
+// WindowSnapshot is the deterministic record of one profile window. It is
+// retained on sim.Result.Windows and encoded verbatim by the JSONL and
+// CSV sinks; every field is a pure function of the run's configuration
+// (virtual clock, placement state), never of wall time or scheduling, so
+// snapshots are byte-identical across PushThreads and repeated runs.
+//
+// Slice fields are indexed by TierID unless noted. Byte-addressable tiers
+// hold zeros in the compression-specific columns.
+type WindowSnapshot struct {
+	// Window is the 1-based window index.
+	Window int
+	// AppNs is application virtual time spent in this window.
+	AppNs float64
+	// DaemonNs is daemon work in this window: solver + migration +
+	// compaction + profiling tax + prefetch work.
+	DaemonNs float64
+	// SolverNs is the modeling (MCKP solve) part of DaemonNs.
+	SolverNs float64
+	// MigrateNs is the migration-copy part of DaemonNs (decompressions,
+	// compressions and media traffic of this window's applied moves),
+	// excluding pool compaction.
+	MigrateNs float64
+	// CompactNs is the post-migration pool-compaction part of DaemonNs.
+	CompactNs float64
+	// ProfileNs is the telemetry tax accrued during this window.
+	ProfileNs float64
+	// PrefetchNs is daemon work spent on §3.2 bulk prefetch promotions.
+	PrefetchNs float64
+	// TCO is the memory TCO at window end (dollar units).
+	TCO float64
+	// TierPages is residency per tier at window end (logical pages).
+	TierPages []int64
+	// TierBytes is each tier's physical footprint in bytes at window end:
+	// resident pages × 4 KB for byte-addressable tiers, pool pages × 4 KB
+	// for compressed tiers.
+	TierBytes []int64
+	// TierRatio is each compressed tier's observed compression ratio
+	// (compressed payload bytes / logical bytes), 0 for byte-addressable
+	// or empty tiers.
+	TierRatio []float64
+	// TierFrag is each compressed tier's zpool internal fragmentation
+	// (1 − payload/footprint), 0 for byte-addressable or empty tiers.
+	TierFrag []float64
+	// RecommendedPages is the model's recommended pages per tier
+	// (region-count × RegionPages, by destination); nil for baseline runs.
+	RecommendedPages []int64 `json:",omitempty"`
+	// Migrations aggregates this window's applied moves by source and
+	// destination tier, sorted by (From, To); every planned move
+	// contributes its cell, even when all of its pages were rejected or
+	// skipped.
+	Migrations []TierFlow `json:",omitempty"`
+	// Faults is cumulative compressed-tier faults so far.
+	Faults int64
+	// Moves and Rejected count this window's migrated and
+	// definitely-placed-elsewhere pages; Skipped counts pages already
+	// resident in their destination.
+	Moves, Rejected, Skipped int
+	// TierFullMoves counts this window's region moves whose commit
+	// reported a full destination (mem.ErrTierFull) — the fallback-path
+	// pressure signal.
+	TierFullMoves int
+	// CompactedPages is how many pool pages compaction reclaimed this
+	// window.
+	CompactedPages int
+	// DroppedPressure/DroppedCapacity/DroppedBudget echo the migration
+	// filter's per-window drop counters (§6.7).
+	DroppedPressure, DroppedCapacity, DroppedBudget int
+}
+
+// TierFlow is one src→dst cell of a window's migration matrix.
+type TierFlow struct {
+	// From and To are TierIDs.
+	From, To int
+	// Pages is how many pages completed the From→To move this window.
+	Pages int64
+	// Rejected is how many pages of these moves were placed at a
+	// fallback tier instead (incompressible, or destination full).
+	Rejected int64
+}
+
+// SavingsPctVs returns the snapshot's TCO savings versus the given
+// all-DRAM maximum, in percent — the per-window curve Figures 8–10 plot.
+func (w *WindowSnapshot) SavingsPctVs(tcoMax float64) float64 {
+	if tcoMax == 0 {
+		return 0
+	}
+	return (tcoMax - w.TCO) / tcoMax * 100
+}
+
+// MoveEvent is one applied region migration, emitted after the window's
+// apply phase in ascending job order. Deterministic: identical at every
+// PushThreads setting.
+type MoveEvent struct {
+	// Window is the 1-based window the move was applied in.
+	Window int
+	// Job is the move's index in the window's plan.
+	Job int
+	// Region is the migrated region.
+	Region int64
+	// From is the region's dominant tier when the plan was drawn; To is
+	// the plan's destination tier.
+	From, To int
+	// Moved/Rejected/Skipped are the per-page outcomes of the region
+	// sweep (see mem.MigrationResult).
+	Moved, Rejected, Skipped int
+	// Full reports that the commit observed a full destination
+	// (mem.ErrTierFull) at some point during the sweep.
+	Full bool
+	// LatencyNs is the modeled migration work of this move.
+	LatencyNs float64
+}
+
+// Phase identifies one stage of the TS-Daemon control loop inside a
+// window, in execution order.
+type Phase int
+
+// Control-loop phases, in execution order.
+const (
+	PhaseProfile Phase = iota // telemetry window close (profile build)
+	PhaseSolve                // model recommendation (MCKP solve)
+	PhasePlan                 // migration filter
+	PhaseApply                // push-thread migration apply
+	PhaseCompact              // pool compaction
+	numPhases
+)
+
+// NumPhases is the number of control-loop phases.
+const NumPhases = int(numPhases)
+
+// String returns the phase's label, as used in metric names.
+func (p Phase) String() string {
+	switch p {
+	case PhaseProfile:
+		return "profile"
+	case PhaseSolve:
+		return "solve"
+	case PhasePlan:
+		return "plan"
+	case PhaseApply:
+		return "apply"
+	case PhaseCompact:
+		return "compact"
+	}
+	return "unknown"
+}
+
+// WindowRuntime is the wall-clock telemetry of one window: the span-style
+// trace of the control loop plus commit-scheduler behaviour. Everything
+// here is measured from the real clock (or depends on goroutine
+// interleaving) and is therefore excluded from the deterministic event
+// stream; it flows to the live metrics endpoints only.
+type WindowRuntime struct {
+	// Window is the 1-based window index.
+	Window int
+	// PhaseWallNs holds each control-loop phase's wall duration,
+	// indexed by Phase.
+	PhaseWallNs [NumPhases]float64
+	// PrepareWallNs and CommitWallNs split the apply phase into its
+	// concurrent prepare half and sequenced commit half, summed across
+	// workers (so they can exceed PhaseWallNs[PhaseApply] when
+	// PushThreads > 1).
+	PrepareWallNs, CommitWallNs float64
+	// Sched reports the window's commit-scheduler behaviour; zero when
+	// the window applied serially (PushThreads 1 or a short plan).
+	Sched SchedulerStats
+}
+
+// SchedulerStats are the conflict-aware commit scheduler's counters for
+// one window's apply.
+type SchedulerStats struct {
+	// Jobs is the number of moves the scheduler sequenced.
+	Jobs int
+	// Wakeups is the number of eligibility signals issued (one per job
+	// when the plan drains).
+	Wakeups int
+	// BlockedAwaits counts commits whose worker actually had to block
+	// waiting for a predecessor — the contention measure (an eligible
+	// fast-path await is not counted).
+	BlockedAwaits int
+	// StallNs is total wall time workers spent blocked in await.
+	StallNs int64
+	// TierStreams describes each per-tier sequencer, indexed by TierID:
+	// how many commits it ordered and how many wakeups its stream
+	// advance signalled.
+	TierStreams []TierStreamStats
+}
+
+// TierStreamStats is one per-tier commit sequencer's counters.
+type TierStreamStats struct {
+	// Jobs is the number of commits whose footprint contained the tier.
+	Jobs int
+	// Wakeups counts jobs whose final ordering grant — the one that made
+	// them eligible — came from this tier's stream advancing.
+	Wakeups int
+}
+
+// Tee fans every event out to each of recs, in order. Nil entries are
+// skipped; with zero non-nil recorders Tee returns nil, the disabled
+// state, so producers' nil checks keep working.
+func Tee(recs ...Recorder) Recorder {
+	var nonNil []Recorder
+	for _, r := range recs {
+		if r != nil {
+			nonNil = append(nonNil, r)
+		}
+	}
+	switch len(nonNil) {
+	case 0:
+		return nil
+	case 1:
+		return nonNil[0]
+	}
+	return teeRecorder(nonNil)
+}
+
+type teeRecorder []Recorder
+
+func (t teeRecorder) RecordWindow(w WindowSnapshot) {
+	for _, r := range t {
+		r.RecordWindow(w)
+	}
+}
+
+func (t teeRecorder) RecordMove(m MoveEvent) {
+	for _, r := range t {
+		r.RecordMove(m)
+	}
+}
+
+func (t teeRecorder) RecordRuntime(rt WindowRuntime) {
+	for _, r := range t {
+		r.RecordRuntime(rt)
+	}
+}
+
+// Mem is a Recorder that retains every event in memory, in arrival order —
+// the capture sink behind determinism tests and cmd/tierscape's -trace.
+type Mem struct {
+	Windows  []WindowSnapshot
+	Moves    []MoveEvent
+	Runtimes []WindowRuntime
+}
+
+// RecordWindow implements Recorder.
+func (m *Mem) RecordWindow(w WindowSnapshot) { m.Windows = append(m.Windows, w) }
+
+// RecordMove implements Recorder.
+func (m *Mem) RecordMove(ev MoveEvent) { m.Moves = append(m.Moves, ev) }
+
+// RecordRuntime implements Recorder.
+func (m *Mem) RecordRuntime(rt WindowRuntime) { m.Runtimes = append(m.Runtimes, rt) }

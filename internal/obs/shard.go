@@ -1,0 +1,62 @@
+package obs
+
+// Shards collects MoveEvents from concurrent apply workers without
+// synchronization: each worker appends only to its own shard, and the
+// single-threaded caller merges the shards after the worker pool drains.
+//
+// Determinism argument: the apply engine hands out jobs from a shared
+// atomic counter, so each worker's shard is ascending in Job; which worker
+// runs which job varies run to run, but every job appears exactly once
+// across the shards and each event's content is a pure function of the
+// job (the engine's per-tier serial projection fixes every commit
+// outcome). Merging by ascending Job therefore yields one canonical
+// sequence — byte-identical at every worker count — from buffers that
+// were filled in nondeterministic interleavings.
+type Shards struct {
+	shards [][]MoveEvent
+}
+
+// NewShards returns shard buffers for `workers` concurrent producers.
+func NewShards(workers int) *Shards {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Shards{shards: make([][]MoveEvent, workers)}
+}
+
+// Record appends ev to worker's shard. Each worker index must be used by
+// at most one goroutine at a time; distinct workers never synchronize.
+func (s *Shards) Record(worker int, ev MoveEvent) {
+	s.shards[worker] = append(s.shards[worker], ev)
+}
+
+// Merge returns every recorded event in ascending Job order — the
+// canonical sequence a serial apply would have produced. Call only after
+// all producers have finished. Shards are consumed positionally (each is
+// already Job-ascending), so the merge is a k-way pick of the smallest
+// head.
+func (s *Shards) Merge() []MoveEvent {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]MoveEvent, 0, total)
+	idx := make([]int, len(s.shards))
+	for len(out) < total {
+		best := -1
+		for w, sh := range s.shards {
+			if idx[w] >= len(sh) {
+				continue
+			}
+			if best < 0 || sh[idx[w]].Job < s.shards[best][idx[best]].Job {
+				best = w
+			}
+		}
+		out = append(out, s.shards[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

@@ -69,9 +69,14 @@ type Plan struct {
 	DroppedBudget int
 }
 
-// Move is one region migration.
+// Move is one region migration: Region moves From → Dest. From is the
+// region's dominant tier when the plan was drawn; the apply engine never
+// reads it (commits re-derive residency page by page), but the
+// observability layer's src→dst migration matrix does, and the filter
+// already computes it for the no-op check, so carrying it is free.
 type Move struct {
 	Region mem.RegionID
+	From   mem.TierID
 	Dest   mem.TierID
 }
 
@@ -111,7 +116,8 @@ func (f *Filter) Apply(m *mem.Manager, rec model.Recommendation, prof telemetry.
 	var cands []cand
 	for r, dest := range rec.Dest {
 		rid := mem.RegionID(r)
-		if m.DominantTier(rid) == dest {
+		dom := m.DominantTier(rid)
+		if dom == dest {
 			continue
 		}
 		if pressured[dest] {
@@ -122,7 +128,7 @@ func (f *Filter) Apply(m *mem.Manager, rec model.Recommendation, prof telemetry.
 		if r < len(prof.Hotness) {
 			hot = prof.Hotness[r]
 		}
-		cands = append(cands, cand{Move{rid, dest}, hot})
+		cands = append(cands, cand{Move{Region: rid, From: dom, Dest: dest}, hot})
 	}
 	// Coldest regions first: their placement is the most certain, and a
 	// truncated window still banks the biggest TCO win.

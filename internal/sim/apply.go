@@ -17,26 +17,81 @@
 // decisions and counters therefore match a single-threaded apply
 // bit-for-bit, while float latency sums are reduced from the job-indexed
 // results array after the pool drains.
+//
+// Observability rides along behind a nil check: with no applyTrace the
+// engine does exactly the work above and nothing else. With one, workers
+// additionally record per-move events into per-worker shards (merged in
+// job order by the caller — see obs.Shards for why that is
+// deterministic), accumulate the wall-clock prepare/commit split, and the
+// scheduler's counters are collected after the pool drains. None of the
+// traced values feed back into placement, so tracing can never perturb
+// results.
 package sim
 
 import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tierscape/internal/mem"
+	"tierscape/internal/obs"
 	"tierscape/internal/policy"
 )
 
+// moveOutcome is one applied move's accounting plus the signal the bare
+// MigrationResult doesn't carry: whether the commit observed a full
+// destination (mem.ErrTierFull), which the engine treats as benign and
+// would otherwise swallow.
+type moveOutcome struct {
+	mem.MigrationResult
+	Full bool
+}
+
+// applyTrace collects one window's apply-phase observability. A nil
+// *applyTrace disables all of it; the engine's only residual cost is the
+// nil checks.
+type applyTrace struct {
+	window    int
+	shards    *obs.Shards
+	prepareNs atomic.Int64
+	commitNs  atomic.Int64
+	sched     obs.SchedulerStats
+}
+
+// newApplyTrace returns a trace for one window's apply with capacity for
+// `workers` event shards.
+func newApplyTrace(window, workers int) *applyTrace {
+	return &applyTrace{window: window, shards: obs.NewShards(workers)}
+}
+
+// event builds the deterministic move event for job i.
+func (tr *applyTrace) event(i int, mv policy.Move, out moveOutcome) obs.MoveEvent {
+	return obs.MoveEvent{
+		Window:    tr.window,
+		Job:       i,
+		Region:    int64(mv.Region),
+		From:      int(mv.From),
+		To:        int(mv.Dest),
+		Moved:     out.Moved,
+		Rejected:  out.Rejected,
+		Skipped:   out.Skipped,
+		Full:      out.Full,
+		LatencyNs: out.LatencyNs,
+	}
+}
+
 // applyMoves applies one window's migration plan with `workers` push
-// threads and returns the per-move results indexed like moves. A full
+// threads and returns the per-move outcomes indexed like moves. A full
 // destination (mem.ErrTierFull) is benign per move — the manager completes
 // the sweep and its partial accounting stays valid, matching the serial
-// migrateRegion helper. Hard errors are reported for the lowest job index
-// so the failure is independent of goroutine interleaving.
-func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.MigrationResult, error) {
+// migrateRegion helper — and is surfaced on the outcome's Full flag. Hard
+// errors are reported for the lowest job index so the failure is
+// independent of goroutine interleaving. tr, when non-nil, collects the
+// window's apply observability.
+func applyMoves(m *mem.Manager, moves []policy.Move, workers int, tr *applyTrace) ([]moveOutcome, error) {
 	n := len(moves)
-	results := make([]mem.MigrationResult, n)
+	results := make([]moveOutcome, n)
 	if n == 0 {
 		return results, nil
 	}
@@ -45,27 +100,49 @@ func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.Migrati
 	}
 	if workers <= 1 {
 		// Serial fast path: fused prepare+commit per region, one scratch
-		// arena reused across the whole plan.
+		// arena reused across the whole plan. A traced serial apply takes
+		// the same prepare/commit split as the pool so its wall-time split
+		// is meaningful; split and fused produce byte-identical results
+		// (the push-thread determinism contract), so tracing cannot
+		// perturb the run.
 		sc := &mem.MigrationScratch{}
 		defer sc.Drain()
 		for i, mv := range moves {
-			mr, err := migrateRegionScratch(m, mv.Region, mv.Dest, sc)
-			if err != nil {
+			var mr mem.MigrationResult
+			var err error
+			if tr == nil {
+				mr, err = m.MigrateRegionScratch(mv.Region, mv.Dest, sc)
+			} else {
+				t0 := time.Now()
+				var pr *mem.PreparedRegion
+				pr, err = m.PrepareRegionMigrationScratch(mv.Region, mv.Dest, sc)
+				t1 := time.Now()
+				tr.prepareNs.Add(int64(t1.Sub(t0)))
+				if err == nil {
+					mr, err = m.CommitRegionMigration(pr)
+					tr.commitNs.Add(int64(time.Since(t1)))
+				}
+			}
+			full := errors.Is(err, mem.ErrTierFull)
+			if err != nil && !full {
 				return nil, err
 			}
-			results[i] = mr
+			results[i] = moveOutcome{MigrationResult: mr, Full: full}
+			if tr != nil {
+				tr.shards.Record(0, tr.event(i, mv, results[i]))
+			}
 		}
 		return results, nil
 	}
 	fps, prev := planFootprints(m, moves)
-	sched := newCommitScheduler(len(m.Tiers()), fps, prev)
+	sched := newCommitScheduler(len(m.Tiers()), fps, prev, tr != nil)
 	errs := make([]error, n)
 	var nextJob atomic.Int64
 	nextJob.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
 			sc := &mem.MigrationScratch{}
 			defer sc.Drain()
@@ -74,25 +151,46 @@ func applyMoves(m *mem.Manager, moves []policy.Move, workers int) ([]mem.Migrati
 				if i >= n {
 					return
 				}
+				var t0 time.Time
+				if tr != nil {
+					t0 = time.Now()
+				}
 				pr, err := m.PrepareRegionMigrationScratch(moves[i].Region, moves[i].Dest, sc)
+				if tr != nil {
+					tr.prepareNs.Add(int64(time.Since(t0)))
+				}
 				// Commit once every footprint tier's stream reaches this
 				// job; every job must release its footprint (done) even
 				// after a prepare error, or successors would wait forever.
 				sched.await(i)
 				if err == nil {
+					var t1 time.Time
+					if tr != nil {
+						t1 = time.Now()
+					}
 					var mr mem.MigrationResult
 					mr, err = m.CommitRegionMigration(pr)
-					if errors.Is(err, mem.ErrTierFull) {
+					if tr != nil {
+						tr.commitNs.Add(int64(time.Since(t1)))
+					}
+					full := errors.Is(err, mem.ErrTierFull)
+					if full {
 						err = nil
 					}
-					results[i] = mr
+					results[i] = moveOutcome{MigrationResult: mr, Full: full}
+					if tr != nil && err == nil {
+						tr.shards.Record(shard, tr.event(i, moves[i], results[i]))
+					}
 				}
 				sched.done(i)
 				errs[i] = err
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if tr != nil {
+		tr.sched = sched.Stats()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

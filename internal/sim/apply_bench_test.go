@@ -98,17 +98,25 @@ func promotePlan() []policy.Move {
 	return moves
 }
 
-type applyFunc func(*mem.Manager, []policy.Move, int) ([]mem.MigrationResult, error)
+type applyFunc func(*mem.Manager, []policy.Move, int) error
 
 // BenchmarkApplyMoves measures one window round trip (demote wave +
 // promote wave) per iteration: plan × implementation × push threads.
+// applyMoves runs untraced (nil *applyTrace) — the production default and
+// the configuration the zero-overhead acceptance numbers are taken from.
 func BenchmarkApplyMoves(b *testing.B) {
 	impls := []struct {
 		name  string
 		apply applyFunc
 	}{
-		{"sched", applyMoves},
-		{"turnstile", applyMovesTurnstile},
+		{"sched", func(m *mem.Manager, mv []policy.Move, pt int) error {
+			_, err := applyMoves(m, mv, pt, nil)
+			return err
+		}},
+		{"turnstile", func(m *mem.Manager, mv []policy.Move, pt int) error {
+			_, err := applyMovesTurnstile(m, mv, pt)
+			return err
+		}},
 	}
 	for _, plan := range benchPlans() {
 		for _, impl := range impls {
@@ -121,10 +129,10 @@ func BenchmarkApplyMoves(b *testing.B) {
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if _, err := impl.apply(m, demote, pt); err != nil {
+						if err := impl.apply(m, demote, pt); err != nil {
 							b.Fatal(err)
 						}
-						if _, err := impl.apply(m, promote, pt); err != nil {
+						if err := impl.apply(m, promote, pt); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -175,7 +183,7 @@ func BenchmarkApplyMovesSequencerOverhead(b *testing.B) {
 		b.Run(fmt.Sprintf("impl=sched/pt=%d", pt), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s := newCommitScheduler(10, fps, prev)
+				s := newCommitScheduler(10, fps, prev, false)
 				run(s.await, s.done, pt)
 			}
 		})

@@ -150,7 +150,7 @@ func TestConcurrentFallbackConflictDeterminism(t *testing.T) {
 // Per-move results, residency, counters and pool stats must match the
 // serial apply at every worker count.
 func TestConcurrentApplyMovesFallbackConflicts(t *testing.T) {
-	collect := func(workers int) ([]mem.MigrationResult, []int64, mem.Counters, int64) {
+	collect := func(workers int) ([]moveOutcome, []int64, mem.Counters, int64) {
 		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
 		m := standardMix(t, wl)
 		ct1, ct2 := mem.TierID(2), mem.TierID(3)
@@ -167,7 +167,7 @@ func TestConcurrentApplyMovesFallbackConflicts(t *testing.T) {
 		for r := int64(0); r < m.NumRegions(); r += 3 {
 			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
 		}
-		results, err := applyMoves(m, moves, workers)
+		results, err := applyMoves(m, moves, workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestConcurrentApplyMovesFallbackConflicts(t *testing.T) {
 // the same plan applied at different worker counts on identically-built
 // managers yields identical per-move results in plan order.
 func TestConcurrentApplyMovesRepeatable(t *testing.T) {
-	collect := func(workers int) ([]mem.MigrationResult, []int64) {
+	collect := func(workers int) ([]moveOutcome, []int64) {
 		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
 		m := standardMix(t, wl)
 		tiers := m.Tiers()
@@ -214,7 +214,7 @@ func TestConcurrentApplyMovesRepeatable(t *testing.T) {
 		for r := int64(0); r < m.NumRegions(); r += 3 {
 			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
 		}
-		results, err := applyMoves(m, moves, workers)
+		results, err := applyMoves(m, moves, workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

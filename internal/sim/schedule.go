@@ -45,14 +45,24 @@ package sim
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tierscape/internal/mem"
+	"tierscape/internal/obs"
 	"tierscape/internal/policy"
 )
 
 // commitScheduler sequences the commit phase of a window's moves. Job i
 // may commit once every tier stream in its footprint has reached it and
 // its same-region predecessor (if any) has committed.
+//
+// The scheduler keeps its own behaviour counters — wakeups, blocked
+// awaits, stall wall time, and (in traced mode) which tier's stream
+// advance made each job eligible — exported via Stats for the
+// observability layer. The counters are wall-clock/interleaving facts, so
+// they flow only into runtime telemetry, never into deterministic
+// results.
 type commitScheduler struct {
 	mu       sync.Mutex
 	fps      []mem.TierSet
@@ -62,13 +72,22 @@ type commitScheduler struct {
 	pending  []int           // per job: grants outstanding before the job may commit
 	eligible []bool          // per job: all grants received, may commit
 	waiter   []chan struct{} // per job: lazily made when a worker must block
-	wakeups  int             // eligibility signals issued (test instrumentation)
+	wakeups  int             // eligibility signals issued
+	blocked  int             // awaits that actually blocked on a waiter channel
+	stallNs  atomic.Int64    // wall time spent blocked in await
+
+	// tierWakeups attributes each job's final, eligibility-completing
+	// grant to the tier stream that issued it. Allocated only in traced
+	// mode so an untraced apply adds no allocation.
+	tierWakeups []int
 }
 
 // newCommitScheduler builds the per-tier commit streams for the given
 // footprints. prev[i] is the job index of the previous move addressing the
-// same region (-1 if none); numTiers is the manager's tier count.
-func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int) *commitScheduler {
+// same region (-1 if none); numTiers is the manager's tier count. traced
+// enables per-tier wakeup attribution (the one piece of instrumentation
+// that costs an allocation).
+func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int, traced bool) *commitScheduler {
 	n := len(fps)
 	s := &commitScheduler{
 		fps:      fps,
@@ -78,6 +97,9 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int) *commitSche
 		pending:  make([]int, n),
 		eligible: make([]bool, n),
 		waiter:   make([]chan struct{}, n),
+	}
+	if traced {
+		s.tierWakeups = make([]int, numTiers)
 	}
 	for i := range s.next {
 		s.next[i] = -1
@@ -96,7 +118,7 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int) *commitSche
 	s.mu.Lock()
 	for t := range s.streams {
 		if len(s.streams[t]) > 0 {
-			s.grantLocked(s.streams[t][0])
+			s.grantLocked(s.streams[t][0], t)
 		}
 	}
 	// Jobs with empty footprints and no predecessor never receive a grant;
@@ -111,9 +133,15 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int) *commitSche
 }
 
 // grantLocked records that one of job i's ordering resources reached it.
-func (s *commitScheduler) grantLocked(i int) {
+// tier is the granting tier stream, or -1 for a region-chain grant; when
+// the grant completes the job's eligibility and tracing is on, the wakeup
+// is attributed to that tier's sequencer.
+func (s *commitScheduler) grantLocked(i, tier int) {
 	s.pending[i]--
 	if s.pending[i] == 0 {
+		if s.tierWakeups != nil && tier >= 0 {
+			s.tierWakeups[tier]++
+		}
 		s.signalLocked(i)
 	}
 }
@@ -132,7 +160,8 @@ func (s *commitScheduler) signalLocked(i int) {
 
 // await blocks until job i may commit. The fast path — the job became
 // eligible before its prepare finished — is a flag read; a wakeup channel
-// is allocated only when the worker really has to wait.
+// is allocated only when the worker really has to wait, and only that
+// slow path is counted (and its wall time measured) as a blocked await.
 func (s *commitScheduler) await(i int) {
 	s.mu.Lock()
 	if s.eligible[i] {
@@ -141,8 +170,44 @@ func (s *commitScheduler) await(i int) {
 	}
 	ch := make(chan struct{})
 	s.waiter[i] = ch
+	s.blocked++
 	s.mu.Unlock()
+	t0 := time.Now()
 	<-ch
+	s.stallNs.Add(int64(time.Since(t0)))
+}
+
+// eligibleNow reports whether job i may commit right now — its await
+// would return without blocking. This is the scheduler's public probe;
+// tests assert ordering through it instead of reaching into the
+// internals.
+func (s *commitScheduler) eligibleNow(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eligible[i]
+}
+
+// Stats returns the scheduler's behaviour counters. Per-tier wakeup
+// attribution is only populated when the scheduler was built traced;
+// stream sizes (Jobs) are always available. Safe to call at any time;
+// the snapshot is consistent under the scheduler lock.
+func (s *commitScheduler) Stats() obs.SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := obs.SchedulerStats{
+		Jobs:          len(s.pending),
+		Wakeups:       s.wakeups,
+		BlockedAwaits: s.blocked,
+		StallNs:       s.stallNs.Load(),
+		TierStreams:   make([]obs.TierStreamStats, len(s.streams)),
+	}
+	for t, stream := range s.streams {
+		st.TierStreams[t].Jobs = len(stream)
+		if s.tierWakeups != nil {
+			st.TierStreams[t].Wakeups = s.tierWakeups[t]
+		}
+	}
+	return st
 }
 
 // done releases job i's footprint: every tier stream it headed advances,
@@ -154,11 +219,11 @@ func (s *commitScheduler) done(i int) {
 		t := bits.TrailingZeros64(b)
 		s.pos[t]++
 		if s.pos[t] < len(s.streams[t]) {
-			s.grantLocked(s.streams[t][s.pos[t]])
+			s.grantLocked(s.streams[t][s.pos[t]], t)
 		}
 	}
 	if s.next[i] >= 0 {
-		s.grantLocked(s.next[i])
+		s.grantLocked(s.next[i], -1)
 	}
 }
 

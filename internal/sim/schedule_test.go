@@ -9,14 +9,6 @@ import (
 	"tierscape/internal/workload"
 )
 
-// eligible reports whether the scheduler would let job i commit right now
-// (its await would return without blocking).
-func eligible(s *commitScheduler, i int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eligible[i]
-}
-
 func ts(ids ...mem.TierID) mem.TierSet {
 	var s mem.TierSet
 	for _, id := range ids {
@@ -40,32 +32,47 @@ func noPrev(n int) []int {
 // finishing job 0 readies job 1 but must NOT touch job 2.
 func TestConcurrentCommitSchedulerTargetedWakeup(t *testing.T) {
 	fps := []mem.TierSet{ts(1), ts(1), ts(1)}
-	s := newCommitScheduler(2, fps, noPrev(3))
-	if !eligible(s, 0) {
+	s := newCommitScheduler(2, fps, noPrev(3), true)
+	if !s.eligibleNow(0) {
 		t.Fatal("job 0 heads the only stream; must be eligible at init")
 	}
-	if eligible(s, 1) || eligible(s, 2) {
+	if s.eligibleNow(1) || s.eligibleNow(2) {
 		t.Fatal("jobs 1 and 2 must wait behind job 0")
 	}
-	if s.wakeups != 1 {
-		t.Fatalf("init wakeups = %d, want 1 (job 0 only)", s.wakeups)
+	if got := s.Stats().Wakeups; got != 1 {
+		t.Fatalf("init wakeups = %d, want 1 (job 0 only)", got)
 	}
 	s.done(0)
-	if !eligible(s, 1) {
+	if !s.eligibleNow(1) {
 		t.Fatal("job 1 must become eligible when job 0 completes")
 	}
-	if eligible(s, 2) {
+	if s.eligibleNow(2) {
 		t.Fatal("job 2 woken early: completion must signal only the next eligible committer")
 	}
-	if s.wakeups != 2 {
-		t.Fatalf("wakeups after done(0) = %d, want 2: exactly one signal per eligible job, no broadcast", s.wakeups)
+	if got := s.Stats().Wakeups; got != 2 {
+		t.Fatalf("wakeups after done(0) = %d, want 2: exactly one signal per eligible job, no broadcast", got)
 	}
 	s.done(1)
-	if !eligible(s, 2) {
+	if !s.eligibleNow(2) {
 		t.Fatal("job 2 must become eligible when job 1 completes")
 	}
-	if s.wakeups != 3 {
-		t.Fatalf("total wakeups = %d, want one per job (3)", s.wakeups)
+	st := s.Stats()
+	if st.Wakeups != 3 {
+		t.Fatalf("total wakeups = %d, want one per job (3)", st.Wakeups)
+	}
+	// Per-tier attribution: all three jobs were sequenced — and woken — by
+	// tier 1's stream.
+	if st.Jobs != 3 || len(st.TierStreams) != 2 {
+		t.Fatalf("Stats jobs/streams = %d/%d, want 3/2", st.Jobs, len(st.TierStreams))
+	}
+	if st.TierStreams[1].Jobs != 3 || st.TierStreams[1].Wakeups != 3 {
+		t.Fatalf("tier 1 stream = %+v, want 3 jobs and 3 wakeups", st.TierStreams[1])
+	}
+	if st.TierStreams[0].Jobs != 0 || st.TierStreams[0].Wakeups != 0 {
+		t.Fatalf("tier 0 stream = %+v, want untouched", st.TierStreams[0])
+	}
+	if st.BlockedAwaits != 0 || st.StallNs != 0 {
+		t.Fatalf("no await ever blocked, but BlockedAwaits=%d StallNs=%d", st.BlockedAwaits, st.StallNs)
 	}
 }
 
@@ -74,9 +81,9 @@ func TestConcurrentCommitSchedulerTargetedWakeup(t *testing.T) {
 // conflict-aware scheduler.
 func TestConcurrentCommitSchedulerDisjointOverlap(t *testing.T) {
 	fps := []mem.TierSet{ts(2), ts(3), ts(4), 0}
-	s := newCommitScheduler(5, fps, noPrev(4))
+	s := newCommitScheduler(5, fps, noPrev(4), false)
 	for i := range fps {
-		if !eligible(s, i) {
+		if !s.eligibleNow(i) {
 			t.Fatalf("job %d has a disjoint (or empty) footprint; must be eligible at init", i)
 		}
 	}
@@ -92,19 +99,19 @@ func TestConcurrentCommitSchedulerDisjointOverlap(t *testing.T) {
 // a third, disjoint job proceeds.
 func TestConcurrentCommitSchedulerPartialOverlap(t *testing.T) {
 	fps := []mem.TierSet{ts(1, 2), ts(2, 3), ts(4)}
-	s := newCommitScheduler(5, fps, noPrev(3))
-	if !eligible(s, 0) || !eligible(s, 2) {
+	s := newCommitScheduler(5, fps, noPrev(3), false)
+	if !s.eligibleNow(0) || !s.eligibleNow(2) {
 		t.Fatal("jobs 0 and 2 must start immediately")
 	}
-	if eligible(s, 1) {
+	if s.eligibleNow(1) {
 		t.Fatal("job 1 shares tier 2 with job 0 and must wait")
 	}
 	s.done(2) // disjoint completion must not unblock job 1
-	if eligible(s, 1) {
+	if s.eligibleNow(1) {
 		t.Fatal("disjoint completion unblocked job 1")
 	}
 	s.done(0)
-	if !eligible(s, 1) {
+	if !s.eligibleNow(1) {
 		t.Fatal("job 1 must run after job 0 releases tier 2")
 	}
 }
@@ -115,16 +122,26 @@ func TestConcurrentCommitSchedulerPartialOverlap(t *testing.T) {
 func TestConcurrentCommitSchedulerRegionChain(t *testing.T) {
 	fps := []mem.TierSet{ts(2), ts(3)}
 	prev := []int{-1, 0}
-	s := newCommitScheduler(4, fps, prev)
-	if !eligible(s, 0) {
+	s := newCommitScheduler(4, fps, prev, true)
+	if !s.eligibleNow(0) {
 		t.Fatal("job 0 must be eligible")
 	}
-	if eligible(s, 1) {
+	if s.eligibleNow(1) {
 		t.Fatal("job 1 re-addresses job 0's region and must wait despite disjoint tiers")
 	}
 	s.done(0)
-	if !eligible(s, 1) {
+	if !s.eligibleNow(1) {
 		t.Fatal("job 1 must run once its region predecessor commits")
+	}
+	// Job 1's completing grant came from the region chain, not a tier
+	// stream, so no tier sequencer may claim its wakeup.
+	st := s.Stats()
+	var tierWakeups int
+	for _, tsw := range st.TierStreams {
+		tierWakeups += tsw.Wakeups
+	}
+	if tierWakeups != 1 {
+		t.Fatalf("tier-attributed wakeups = %d, want 1 (job 0 only; job 1's came from the region chain)", tierWakeups)
 	}
 }
 
@@ -188,7 +205,7 @@ func TestConcurrentApplyMovesPrepareError(t *testing.T) {
 			{Region: 1, Dest: mem.TierID(99)}, // no such tier
 			{Region: 2, Dest: mem.TierID(3)},
 		}
-		_, err := applyMoves(m, moves, workers)
+		_, err := applyMoves(m, moves, workers, nil)
 		if !errors.Is(err, mem.ErrNoSuchTier) {
 			t.Fatalf("workers=%d: err = %v, want ErrNoSuchTier", workers, err)
 		}

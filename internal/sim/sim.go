@@ -21,14 +21,26 @@
 // thread count, because cache and bandwidth contention scale with bytes
 // moved, not with how many threads move them. Results are byte-identical
 // for every PushThreads value; the knob only changes wall-clock speed.
+//
+// Observability: every window boundary emits a deterministic
+// obs.WindowSnapshot (retained on Result.Windows regardless of
+// configuration) and, when Config.Recorder is set, streams the window's
+// per-move events in job order plus an obs.WindowRuntime carrying the
+// wall-clock span trace of the control loop (profile → solve → plan →
+// apply → compact) and the commit scheduler's counters. With a nil
+// Recorder the loop takes none of the clock readings — the instrumented
+// paths cost a nil check and nothing else.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
+	"tierscape/internal/obs"
 	"tierscape/internal/policy"
 	"tierscape/internal/stats"
 	"tierscape/internal/tco"
@@ -83,6 +95,14 @@ type Config struct {
 	// accessed-bit scanning (§10): binary touched-page hotness whose scan
 	// tax scales with memory size instead of access rate.
 	AccessBitTelemetry bool
+	// Recorder receives the run's observability events: one
+	// WindowSnapshot per window, the applied moves in job order, and the
+	// wall-clock WindowRuntime trace. Nil disables recording entirely —
+	// Result.Windows is still populated, but no clocks are read and no
+	// events are built. Recording never changes results: snapshots and
+	// move events are deterministic, and runtime telemetry does not feed
+	// back into the simulation.
+	Recorder obs.Recorder
 }
 
 // Int returns a pointer to v, for Config's optional int fields. The
@@ -94,31 +114,11 @@ func Int(v int) *int { return &v }
 // Float returns a pointer to v, for Config's optional float fields.
 func Float(v float64) *float64 { return &v }
 
-// WindowRecord captures one profile window's outcome.
-type WindowRecord struct {
-	// Window is the 1-based window index.
-	Window int
-	// AppNs is application virtual time spent in this window.
-	AppNs float64
-	// DaemonNs is daemon work in this window (solver + migration).
-	DaemonNs float64
-	// SolverNs is the modeling part of DaemonNs.
-	SolverNs float64
-	// TCO is the memory TCO at window end (dollar units).
-	TCO float64
-	// TierPages is residency per tier at window end.
-	TierPages []int64
-	// RecommendedPages is the model's recommended pages per tier
-	// (region-count × RegionPages, by destination).
-	RecommendedPages []int64
-	// Faults is cumulative compressed-tier faults so far.
-	Faults int64
-	// Moves and Rejected count this window's migration outcomes.
-	Moves, Rejected int
-	// CompactedPages is how many pool pages compaction reclaimed this
-	// window.
-	CompactedPages int
-}
+// WindowRecord is one profile window's deterministic outcome. It is an
+// alias for obs.WindowSnapshot — the simulator emits the observability
+// layer's snapshot type directly, so Result.Windows, the JSONL/CSV sinks
+// and the live endpoints all share one schema.
+type WindowRecord = obs.WindowSnapshot
 
 // Result summarizes a run.
 type Result struct {
@@ -170,6 +170,35 @@ func (r *Result) SlowdownPctVs(baseline *Result) float64 {
 		return 0
 	}
 	return (r.AppNs/baseline.AppNs - 1) * 100
+}
+
+// TotalSolverNs sums the per-window solver time — the modeling tax the
+// ablation harnesses report.
+func (r *Result) TotalSolverNs() float64 {
+	var sum float64
+	for i := range r.Windows {
+		sum += r.Windows[i].SolverNs
+	}
+	return sum
+}
+
+// TotalMoves sums the per-window migrated page counts.
+func (r *Result) TotalMoves() int {
+	var sum int
+	for i := range r.Windows {
+		sum += r.Windows[i].Moves
+	}
+	return sum
+}
+
+// TotalRejected sums the per-window rejected (fallback-placed) page
+// counts.
+func (r *Result) TotalRejected() int {
+	var sum int
+	for i := range r.Windows {
+		sum += r.Windows[i].Rejected
+	}
+	return sum
 }
 
 // Run executes the simulation.
@@ -239,6 +268,7 @@ func Run(cfg Config) (*Result, error) {
 
 	m := cfg.Manager
 	wl := cfg.Workload
+	recd := cfg.Recorder
 	var buf []workload.Access
 	var weightedTCO, totalAppNs float64
 	lastProfOverhead := 0.0
@@ -278,35 +308,73 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Ops += int64(cfg.OpsPerWindow)
 
+		// The span trace clocks each control-loop phase only when a
+		// recorder is present; wall time is never read otherwise and never
+		// feeds back into modeled results either way.
+		var rt obs.WindowRuntime
+		var wall time.Time
+		if recd != nil {
+			rt.Window = w + 1
+			wall = time.Now()
+		}
 		profile := prof.EndWindow()
+		if recd != nil {
+			rt.PhaseWallNs[obs.PhaseProfile] = wallSince(&wall)
+		}
 		rec := WindowRecord{Window: w + 1}
+		var tr *applyTrace
 
 		if cfg.Model != nil {
 			r := cfg.Model.Recommend(m, profile)
+			if recd != nil {
+				rt.PhaseWallNs[obs.PhaseSolve] = wallSince(&wall)
+			}
 			plan := filter.Apply(m, r, profile)
+			if recd != nil {
+				rt.PhaseWallNs[obs.PhasePlan] = wallSince(&wall)
+				tr = newApplyTrace(w+1, pushThreads)
+			}
 			// Real push threads: pushThreads goroutines apply the plan
 			// concurrently; the deterministic in-order commit (apply.go)
 			// merges per-move accounting by job index, so the sums below
 			// are identical at every thread count.
-			applied, err := applyMoves(m, plan.Moves, pushThreads)
+			applied, err := applyMoves(m, plan.Moves, pushThreads, tr)
 			if err != nil {
 				return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
+			}
+			if recd != nil {
+				rt.PhaseWallNs[obs.PhaseApply] = wallSince(&wall)
 			}
 			var migNs float64
 			for _, mr := range applied {
 				migNs += mr.LatencyNs
 				rec.Moves += mr.Moved
 				rec.Rejected += mr.Rejected
+				rec.Skipped += mr.Skipped
+				if mr.Full {
+					rec.TierFullMoves++
+				}
 			}
+			rec.MigrateNs = migNs
+			rec.Migrations = migrationFlows(plan.Moves, applied)
+			rec.DroppedPressure = plan.DroppedPressure
+			rec.DroppedCapacity = plan.DroppedCapacity
+			rec.DroppedBudget = plan.DroppedBudget
 			// Post-migration pool compaction (zs_compact): churned tiers
 			// return empty zspages.
 			compacted, compactNs := m.CompactAll()
+			if recd != nil {
+				rt.PhaseWallNs[obs.PhaseCompact] = wallSince(&wall)
+			}
 			rec.CompactedPages = compacted
+			rec.CompactNs = compactNs
 			migNs += compactNs
 
 			profDelta := prof.OverheadNs() - lastProfOverhead
 			lastProfOverhead = prof.OverheadNs()
 			rec.SolverNs = r.SolverNs
+			rec.ProfileNs = profDelta
+			rec.PrefetchNs = prefetchNs
 			rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs
 			// Interference charges the measured apply work: cache and
 			// bandwidth contention scale with the bytes the push threads
@@ -319,13 +387,18 @@ func Run(cfg Config) (*Result, error) {
 			// Baseline still pays the (tiny) profiling tax if one imagines
 			// telemetry running; the paper's baseline has none, so charge 0.
 			lastProfOverhead = prof.OverheadNs()
+			rec.PrefetchNs = prefetchNs
 			rec.DaemonNs = prefetchNs
 			appNs += prefetchNs * interference
 		}
 
 		rec.AppNs = appNs
 		rec.TCO = tco.Current(m)
-		rec.TierPages = m.TierPages()
+		tt := m.TierTelemetry()
+		rec.TierPages = tt.Pages
+		rec.TierBytes = tt.Bytes
+		rec.TierRatio = tt.Ratio
+		rec.TierFrag = tt.Frag
 		rec.Faults = m.Counters().Faults
 		res.Windows = append(res.Windows, rec)
 
@@ -333,6 +406,22 @@ func Run(cfg Config) (*Result, error) {
 		res.DaemonNs += rec.DaemonNs
 		weightedTCO += rec.TCO * appNs
 		totalAppNs += appNs
+
+		if recd != nil {
+			if tr != nil {
+				// Per-worker shards merge to the canonical job-ascending
+				// event order (see obs.Shards), so the stream is identical
+				// at every PushThreads.
+				for _, ev := range tr.shards.Merge() {
+					recd.RecordMove(ev)
+				}
+				rt.PrepareWallNs = float64(tr.prepareNs.Load())
+				rt.CommitWallNs = float64(tr.commitNs.Load())
+				rt.Sched = tr.sched
+			}
+			recd.RecordWindow(rec)
+			recd.RecordRuntime(rt)
+		}
 	}
 
 	if totalAppNs > 0 {
@@ -341,6 +430,44 @@ func Run(cfg Config) (*Result, error) {
 	res.FinalTCO = tco.Current(m)
 	res.Faults = m.Counters().Faults
 	return res, nil
+}
+
+// wallSince returns the wall nanoseconds since *t0 and advances *t0 to
+// now — the span clock for the per-window phase trace.
+func wallSince(t0 *time.Time) float64 {
+	now := time.Now()
+	d := now.Sub(*t0)
+	*t0 = now
+	return float64(d)
+}
+
+// migrationFlows aggregates one window's applied plan into the src→dst
+// migration matrix, sorted by (From, To). Deterministic: plan order and
+// per-move outcomes are both push-thread-invariant.
+func migrationFlows(moves []policy.Move, applied []moveOutcome) []obs.TierFlow {
+	if len(moves) == 0 {
+		return nil
+	}
+	idx := make(map[[2]int]int, 8)
+	var flows []obs.TierFlow
+	for i, mv := range moves {
+		key := [2]int{int(mv.From), int(mv.Dest)}
+		j, ok := idx[key]
+		if !ok {
+			j = len(flows)
+			idx[key] = j
+			flows = append(flows, obs.TierFlow{From: key[0], To: key[1]})
+		}
+		flows[j].Pages += int64(applied[i].Moved)
+		flows[j].Rejected += int64(applied[i].Rejected)
+	}
+	sort.Slice(flows, func(a, b int) bool {
+		if flows[a].From != flows[b].From {
+			return flows[a].From < flows[b].From
+		}
+		return flows[a].To < flows[b].To
+	})
+	return flows
 }
 
 // migrateRegion applies one region migration for the daemon, with the

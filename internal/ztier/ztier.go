@@ -144,6 +144,33 @@ type Stats struct {
 // PoolBytes returns the tier's physical footprint in bytes.
 func (s Stats) PoolBytes() int64 { return int64(s.PoolPages) * PageSize }
 
+// Fragmentation returns the pool's internal fragmentation: the fraction
+// of the physical footprint not holding compressed payload (0 for an
+// empty pool). Same-filled pages cost no footprint, so they never count
+// as fragmentation.
+func (s Stats) Fragmentation() float64 {
+	pb := s.PoolBytes()
+	if pb == 0 {
+		return 0
+	}
+	f := 1 - float64(s.CompressedBytes)/float64(pb)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Ratio returns the payload compression ratio — compressed bytes over the
+// logical bytes stored — or 0 for an empty tier. Same-filled pages count
+// as logical pages with (near-)zero payload, so they improve the ratio,
+// matching what the kernel's zswap accounting reports.
+func (s Stats) Ratio() float64 {
+	if s.Pages == 0 {
+		return 0
+	}
+	return float64(s.CompressedBytes) / (float64(s.Pages) * PageSize)
+}
+
 // Tier is one compressed memory tier.
 type Tier struct {
 	cfg   Config

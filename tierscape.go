@@ -32,10 +32,14 @@
 package tierscape
 
 import (
+	"io"
+	"net"
+
 	"tierscape/internal/corpus"
 	"tierscape/internal/media"
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
+	"tierscape/internal/obs"
 	"tierscape/internal/sim"
 	"tierscape/internal/workload"
 	"tierscape/internal/ztier"
@@ -67,6 +71,55 @@ type (
 	// TierID identifies a tier within a system; DRAM is always 0.
 	TierID = mem.TierID
 )
+
+// Observability types, re-exported from internal/obs. A Recorder attached
+// to RunConfig receives one WindowSnapshot per profile window, the
+// window's applied moves in job order, and a wall-clock WindowRuntime
+// trace; nil disables recording at zero cost. Snapshots and move events
+// are deterministic (byte-identical at every PushThreads); runtime
+// telemetry is wall-clock and flows only to live endpoints.
+type (
+	// Recorder receives observability events from a run.
+	Recorder = obs.Recorder
+	// WindowSnapshot is one window's deterministic record (also the
+	// element type of Result.Windows).
+	WindowSnapshot = obs.WindowSnapshot
+	// MoveEvent is one applied region migration.
+	MoveEvent = obs.MoveEvent
+	// WindowRuntime is one window's wall-clock span trace and commit-
+	// scheduler counters.
+	WindowRuntime = obs.WindowRuntime
+	// TierFlow is one src→dst cell of a window's migration matrix.
+	TierFlow = obs.TierFlow
+	// LiveMetrics aggregates events behind the /metrics and /debug/vars
+	// introspection endpoints; safe for concurrent use across runs.
+	LiveMetrics = obs.Live
+	// EventStream encodes the deterministic event channel as JSON Lines.
+	EventStream = obs.Stream
+	// MetricsRecorder retains every event in memory (determinism tests,
+	// trace printing).
+	MetricsRecorder = obs.Mem
+)
+
+// NewLiveMetrics returns an empty live aggregator for ServeMetrics.
+func NewLiveMetrics() *LiveMetrics { return obs.NewLive() }
+
+// NewEventStream returns a Recorder encoding the deterministic event
+// channel (windows, moves) to w as JSON Lines.
+func NewEventStream(w io.Writer) *EventStream { return obs.NewStream(w) }
+
+// NewWindowCSV returns a Recorder rendering window snapshots as CSV rows
+// following the figure harnesses' column conventions.
+func NewWindowCSV(w io.Writer) *obs.CSVWriter { return obs.NewCSV(w) }
+
+// TeeRecorders fans events out to every non-nil recorder; with none it
+// returns nil, the disabled state.
+func TeeRecorders(recs ...Recorder) Recorder { return obs.Tee(recs...) }
+
+// ServeMetrics serves /metrics (Prometheus text), /debug/vars (expvar)
+// and /debug/pprof on addr (e.g. ":9090", ":0" for a free port) for the
+// life of the process and returns the bound address.
+func ServeMetrics(addr string, l *LiveMetrics) (net.Addr, error) { return obs.Serve(addr, l) }
 
 // Media kinds.
 const (
@@ -187,6 +240,9 @@ type RunConfig struct {
 	// this many compressed-tier faults in one window is promoted in bulk
 	// by the daemon. 0 disables it.
 	PrefetchFaultThreshold int
+	// Recorder receives the run's observability events (nil = disabled;
+	// see the Recorder type alias above). Recording never changes results.
+	Recorder Recorder
 }
 
 // Run builds a tiered system sized for the workload and executes the
@@ -217,6 +273,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Windows:                cfg.Windows,
 		OpsPerWindow:           cfg.OpsPerWindow,
 		PrefetchFaultThreshold: cfg.PrefetchFaultThreshold,
+		Recorder:               cfg.Recorder,
 	}
 	if cfg.PushThreads > 0 {
 		scfg.PushThreads = sim.Int(cfg.PushThreads)
