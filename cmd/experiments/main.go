@@ -34,12 +34,14 @@ func main() {
 	plot := flag.Bool("plot", false, "also render scatter plots for slowdown-vs-savings exhibits (7, 10, 13)")
 	par := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS); output is identical at any setting")
 	push := flag.Int("push", 0, "push threads applying migrations inside each run (0 = sim default); output is identical at any setting")
+	warm := flag.Bool("warm-solver", false, "solve each window's MCKP with the warm-start incremental solver; output is identical at any setting")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) while exhibits run")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the exhibits finish (for scraping a completed batch)")
 	events := flag.String("events", "", "append every run's deterministic JSONL event stream to this file")
 	flag.Parse()
 	experiments.SetParallelism(*par)
 	experiments.SetPushThreads(*push)
+	experiments.SetWarmSolver(*warm)
 
 	if *metricsAddr != "" {
 		live := obs.NewLive()

@@ -33,6 +33,9 @@ func main() {
 	modelName := flag.String("model", "am",
 		"placement model: baseline, am, waterfall, hemem, gswap, tmo")
 	alpha := flag.Float64("alpha", 0.1, "analytical model knob in [0,1]")
+	warmSolver := flag.Bool("warm-solver", false, "enable the warm-start incremental MCKP solver (model am; placements identical to cold at -warm-eps 0)")
+	warmEps := flag.Float64("warm-eps", 0, "warm solver: relative drift tolerance for reusing a cached region class (0 = rebuild on any change)")
+	warmFull := flag.Int("warm-full", 0, "warm solver: force a full re-solve every N windows (0 = default cadence)")
 	pct := flag.Float64("pct", 25, "hotness percentile threshold for threshold models")
 	tiers := flag.String("tiers", "standard", "tier setup: standard (DRAM+NVMM+CT1+CT2), spectrum (DRAM+C1,C2,C4,C7,C12), or a JSON file (see -tiers help)")
 	windows := flag.Int("windows", 8, "profile windows to run")
@@ -169,7 +172,11 @@ func main() {
 	case "baseline":
 		cfg.Model = nil
 	case "am":
-		cfg.Model = tierscape.AM(*alpha)
+		if *warmSolver {
+			cfg.Model = tierscape.AMWarm(*alpha, *warmEps, *warmFull)
+		} else {
+			cfg.Model = tierscape.AM(*alpha)
+		}
 	case "waterfall":
 		cfg.Model = tierscape.WaterfallModel(*pct)
 	case "hemem":

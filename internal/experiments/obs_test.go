@@ -56,6 +56,49 @@ func TestConcurrentEventStreamIdenticalBytes(t *testing.T) {
 	}
 }
 
+// TestWarmSolverIdenticalTables extends the engine's determinism
+// guarantee to the warm-start solver: the figure-harness tables must be
+// byte-identical with and without -warm-solver, at serial and fanned-out
+// parallelism/push settings alike, and the live aggregator must actually
+// report warm hits on the warm runs (the knob must not silently no-op).
+func TestWarmSolverIdenticalTables(t *testing.T) {
+	s := SmallScale()
+	capture := func(warm bool, parallel, push int) (csv string, warmHits int64) {
+		l := obs.NewLive()
+		SetLive(l)
+		defer SetLive(nil)
+		SetWarmSolver(warm)
+		defer SetWarmSolver(false)
+		withParallelism(t, parallel, func() {
+			withPushThreads(t, push, func() {
+				tab, err := Fig10(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				csv = tab.CSV()
+			})
+		})
+		vars, ok := l.Vars().(map[string]any)
+		if !ok {
+			t.Fatal("live vars have unexpected shape")
+		}
+		return csv, vars["warm_hits"].(int64)
+	}
+	baseCSV, coldHits := capture(false, 1, 1)
+	if coldHits != 0 {
+		t.Fatalf("cold runs reported %d warm hits", coldHits)
+	}
+	for _, c := range []struct{ parallel, push int }{{1, 1}, {4, 2}} {
+		csv, hits := capture(true, c.parallel, c.push)
+		if csv != baseCSV {
+			t.Fatalf("parallel=%d push=%d: warm-solver table differs from cold", c.parallel, c.push)
+		}
+		if hits == 0 {
+			t.Fatalf("parallel=%d push=%d: warm runs reported no warm hits", c.parallel, c.push)
+		}
+	}
+}
+
 // TestEventSinkWithoutLive pins the -events-without--metrics-addr
 // configuration: an event sink with no live aggregator must stream, not
 // crash (a nil *obs.Live rebound as a non-nil Recorder interface once

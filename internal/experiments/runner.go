@@ -62,6 +62,20 @@ func SetPushThreads(n int) {
 // (0 = sim default).
 func PushThreads() int { return int(pushThreads.Load()) }
 
+// warmSolver, when set, enables the warm-start incremental solver on
+// every analytical model the engine runs. Safe because each job owns its
+// model instance (see runJob); tables stay byte-identical either way —
+// the ε=0 warm solve is placement-identical to a cold solve, so this,
+// like SetPushThreads, is purely a wall-clock knob.
+var warmSolver atomic.Bool
+
+// SetWarmSolver enables (or disables) warm-start solving for every
+// subsequently started run's analytical models.
+func SetWarmSolver(on bool) { warmSolver.Store(on) }
+
+// WarmSolver reports whether warm-start solving is enabled.
+func WarmSolver() bool { return warmSolver.Load() }
+
 // live, when set, is attached as a Recorder to every run the engine
 // starts, so the introspection endpoints aggregate across the whole
 // experiment batch.
@@ -174,6 +188,13 @@ func (j runJob) run(s Scale, rec obs.Recorder) (*sim.Result, error) {
 	build := j.build
 	if build == nil {
 		build = standardManager
+	}
+	if WarmSolver() {
+		// Each job holds its own model instance (see the runJob contract),
+		// so flipping the knob here cannot race across workers.
+		if am, ok := j.mdl.(*model.Analytical); ok {
+			am.WarmStart = true
+		}
 	}
 	wl := j.spec.New(s)
 	m, err := build(wl, s.Seed)

@@ -93,16 +93,29 @@ type hullPoint struct {
 // hull-interior frontier points can still be integer-optimal — so exact
 // search must branch over the frontier, not the hull.
 func frontier(opts []Option) []hullPoint {
-	pts := make([]hullPoint, 0, len(opts))
+	return frontierInto(opts, nil)
+}
+
+// frontierInto is frontier writing into buf's capacity (buf may be nil).
+func frontierInto(opts []Option, buf []hullPoint) []hullPoint {
+	pts := buf[:0]
+	if cap(pts) < len(opts) {
+		pts = make([]hullPoint, 0, len(opts))
+	}
 	for i, o := range opts {
 		pts = append(pts, hullPoint{idx: i, cost: o.Cost, w: o.Weight})
 	}
-	// Sort by weight ascending; ties broken by cost ascending.
+	// Sort by weight ascending; ties broken by cost ascending, then by
+	// original option index so equal (weight, cost) duplicates keep a
+	// deterministic, input-independent order.
 	sort.Slice(pts, func(a, b int) bool {
 		if pts[a].w != pts[b].w {
 			return pts[a].w < pts[b].w
 		}
-		return pts[a].cost < pts[b].cost
+		if pts[a].cost != pts[b].cost {
+			return pts[a].cost < pts[b].cost
+		}
+		return pts[a].idx < pts[b].idx
 	})
 	// Keep the efficient frontier: sweeping from light to heavy, a point
 	// survives only if it is strictly cheaper (in cost) than every lighter
@@ -127,8 +140,17 @@ func frontier(opts []Option) []hullPoint {
 // the frontier with interior points removed so incremental trade ratios
 // are nondecreasing. Valid for LP relaxations (greedy, bounds) only.
 func hull(opts []Option) []hullPoint {
-	und := frontier(opts)
-	hullPts := und[:0:0]
+	h, _ := hullInto(opts, nil, nil)
+	return h
+}
+
+// hullInto is hull writing the result into dst's capacity, with scratch
+// (grown as needed and returned via the second result) holding the
+// intermediate frontier. dst must not alias scratch. Values are identical
+// to hull; only allocation behaviour differs.
+func hullInto(opts []Option, dst, scratch []hullPoint) ([]hullPoint, []hullPoint) {
+	und := frontierInto(opts, scratch)
+	hullPts := dst[:0]
 	for _, p := range und {
 		for len(hullPts) >= 2 {
 			a, b := hullPts[len(hullPts)-2], hullPts[len(hullPts)-1]
@@ -143,73 +165,49 @@ func hull(opts []Option) []hullPoint {
 		}
 		hullPts = append(hullPts, p)
 	}
-	return hullPts
+	return hullPts, und
+}
+
+// inc is one convex-hull increment: moving its class from hull level-1 to
+// level costs dc performance and saves dw of weight, at trade ratio dc/dw.
+type inc struct {
+	class  int
+	level  int // move class to this hull level
+	dc, dw float64
+	ratio  float64
+}
+
+// lessInc is the strict total order of the global increment walk: ratio
+// ascending, ties broken by (class, level). The tie-break matters twice.
+// First, correctness: with an unstable ratio-only sort, two increments of
+// the same class whose distinct real ratios collapse to the same float64
+// (quotient rounding; the cross-product convexity test in hullInto is
+// exact enough to keep both points) could be emitted level-2-first, and
+// the walk's prerequisite guard would then strand that class at level 0
+// forever — returning Feasible=false on feasible problems. Second,
+// determinism: a strict total order over the unique (class, level) keys
+// gives every increment list exactly one sorted permutation, which is what
+// lets the warm-start solver (warm.go) merge cached and rebuilt runs and
+// land on byte-identical solutions to a from-scratch sort.
+func lessInc(a, b inc) bool {
+	if a.ratio != b.ratio {
+		return a.ratio < b.ratio
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.level < b.level
 }
 
 // SolveGreedy solves p with the convex-hull greedy (LP-relaxation rounding).
 // The result is feasible whenever the problem is, and optimal up to one
 // class's rounding — in practice within a fraction of a percent for
-// region-count-sized instances.
+// region-count-sized instances. Internally this is a cold (stateless)
+// SolveState solve; warm-start callers hold a SolveState across windows.
 func SolveGreedy(p Problem) (Solution, error) {
-	if err := validate(p); err != nil {
-		return Solution{}, err
-	}
-	n := len(p.Classes)
-	hulls := make([][]hullPoint, n)
-	level := make([]int, n) // current hull position per class
-
-	sol := Solution{Choice: make([]int, n)}
-	for i, c := range p.Classes {
-		hulls[i] = hull(c)
-		h0 := hulls[i][0] // min-cost (heaviest) point
-		sol.Choice[i] = h0.idx
-		sol.Cost += h0.cost
-		sol.Weight += h0.w
-	}
-	if sol.Weight <= p.Budget {
-		sol.Feasible = true
-		sol.Optimal = true // zero extra cost is trivially optimal
-		return sol, nil
-	}
-
-	// Collect all hull increments; convexity makes per-class ratios
-	// nondecreasing, so a global ascending sort respects class order.
-	type inc struct {
-		class  int
-		level  int // move class to this hull level
-		dc, dw float64
-		ratio  float64
-	}
-	var incs []inc
-	for i, h := range hulls {
-		for k := 1; k < len(h); k++ {
-			dc := h[k].cost - h[k-1].cost
-			dw := h[k-1].w - h[k].w
-			if dw <= 0 {
-				continue
-			}
-			incs = append(incs, inc{class: i, level: k, dc: dc, dw: dw, ratio: dc / dw})
-		}
-	}
-	sort.Slice(incs, func(a, b int) bool { return incs[a].ratio < incs[b].ratio })
-
-	for _, ic := range incs {
-		if sol.Weight <= p.Budget {
-			break
-		}
-		if level[ic.class] != ic.level-1 {
-			// A later increment of this class arrived out of order (can
-			// happen with equal ratios); skip — its prerequisite was skipped.
-			continue
-		}
-		level[ic.class] = ic.level
-		h := hulls[ic.class][ic.level]
-		sol.Cost += ic.dc
-		sol.Weight -= ic.dw
-		sol.Choice[ic.class] = h.idx
-	}
-	sol.Feasible = sol.Weight <= p.Budget
-	return sol, nil
+	var s SolveState
+	sol, _, err := s.Solve(p, nil)
+	return sol, err
 }
 
 // lpBound returns a lower bound on the cost of completing classes

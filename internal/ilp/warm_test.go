@@ -1,0 +1,331 @@
+package ilp
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tierscape/internal/stats"
+)
+
+// legacyGreedy reproduces the pre-fix SolveGreedy: an unstable sort.Slice
+// on ratio alone, with no (class, level) tie-break. Kept here so the
+// regression below demonstrates the exact failure the fix removes.
+func legacyGreedy(p Problem) (Solution, error) {
+	if err := validate(p); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Classes)
+	hulls := make([][]hullPoint, n)
+	level := make([]int, n)
+
+	sol := Solution{Choice: make([]int, n)}
+	for i, c := range p.Classes {
+		hulls[i] = hull(c)
+		h0 := hulls[i][0]
+		sol.Choice[i] = h0.idx
+		sol.Cost += h0.cost
+		sol.Weight += h0.w
+	}
+	if sol.Weight <= p.Budget {
+		sol.Feasible = true
+		sol.Optimal = true
+		return sol, nil
+	}
+	var incs []inc
+	for i, h := range hulls {
+		for k := 1; k < len(h); k++ {
+			dc := h[k].cost - h[k-1].cost
+			dw := h[k-1].w - h[k].w
+			if dw <= 0 {
+				continue
+			}
+			incs = append(incs, inc{class: i, level: k, dc: dc, dw: dw, ratio: dc / dw})
+		}
+	}
+	sort.Slice(incs, func(a, b int) bool { return incs[a].ratio < incs[b].ratio })
+	for _, ic := range incs {
+		if sol.Weight <= p.Budget {
+			break
+		}
+		if level[ic.class] != ic.level-1 {
+			continue
+		}
+		level[ic.class] = ic.level
+		h := hulls[ic.class][ic.level]
+		sol.Cost += ic.dc
+		sol.Weight -= ic.dw
+		sol.Choice[ic.class] = h.idx
+	}
+	sol.Feasible = sol.Weight <= p.Budget
+	return sol, nil
+}
+
+// tiedRatioProblem builds a feasible 12-class instance where class 0's two
+// hull increments have distinct real trade ratios that round to the same
+// float64. Class 0's options are (0,10), (2d,7), (3d,6) with d the
+// smallest denormal: the cross-product convexity test in hullInto is exact
+// (denormal products stay representable), so all three points survive on
+// the hull, but the increment ratios 2d/3 and d/1 both round to d. The
+// remaining 11 filler classes carry varied dyadic-exact ratios sized so
+// the unstable pre-fix sort emits class 0's level-2 increment before its
+// level-1 — the walk's prerequisite guard then strands class 0 at level 0
+// and the pre-fix solver reports Feasible=false on this feasible problem.
+func tiedRatioProblem() Problem {
+	const d = 5e-324
+	p := Problem{}
+	p.Classes = append(p.Classes, []Option{
+		{Cost: 0, Weight: 10},
+		{Cost: 2 * d, Weight: 7},
+		{Cost: 3 * d, Weight: 6},
+	})
+	for c := 1; c < 12; c++ {
+		r := float64(1+c%7) * 0.125
+		p.Classes = append(p.Classes, []Option{
+			{Cost: 0, Weight: 2},
+			{Cost: r, Weight: 1},
+		})
+	}
+	// Minimum achievable weight: 6 + 11×1 = 17. Budget == minimum forces
+	// the walk to take every increment, including class 0's level 2.
+	p.Budget = 17
+	return p
+}
+
+func TestGreedyEqualRatioTieBreak(t *testing.T) {
+	p := tiedRatioProblem()
+	if mw := MinWeight(p); mw != p.Budget {
+		t.Fatalf("construction broken: MinWeight=%v, want %v", mw, p.Budget)
+	}
+
+	sol, err := SolveGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatalf("fixed solver returned Feasible=false on a feasible problem: %+v", sol)
+	}
+	if sol.Weight != p.Budget {
+		t.Fatalf("weight = %v, want %v", sol.Weight, p.Budget)
+	}
+	if sol.Choice[0] != 2 {
+		t.Fatalf("class 0 choice = %d, want 2 (lightest option)", sol.Choice[0])
+	}
+
+	// The pre-fix comparator strands class 0. (This half of the test
+	// documents the bug rather than guarding the fix: it depends on how
+	// the current sort.Slice implementation permutes equal keys, which is
+	// what "unstable and unspecified" means.)
+	old, err := legacyGreedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Feasible {
+		t.Log("note: this Go version's unstable sort happened to keep the tied increments in class-level order")
+	} else if old.Weight != 18 {
+		t.Fatalf("legacy solver weight = %v, want 18 (class 0 stranded at level 1)", old.Weight)
+	}
+}
+
+// TestLessIncTotalOrder checks the comparator is a strict total order on
+// the unique (class, level) keys even with equal ratios — the property
+// the warm-start merge relies on.
+func TestLessIncTotalOrder(t *testing.T) {
+	incs := []inc{
+		{class: 0, level: 1, ratio: 1},
+		{class: 0, level: 2, ratio: 1},
+		{class: 1, level: 1, ratio: 1},
+		{class: 1, level: 2, ratio: 0.5},
+	}
+	for i := range incs {
+		for j := range incs {
+			if i == j {
+				if lessInc(incs[i], incs[j]) {
+					t.Fatalf("lessInc not irreflexive at %d", i)
+				}
+				continue
+			}
+			if lessInc(incs[i], incs[j]) == lessInc(incs[j], incs[i]) {
+				t.Fatalf("lessInc not a strict total order for %v vs %v", incs[i], incs[j])
+			}
+		}
+	}
+}
+
+// TestWarmMatchesColdRandom drifts random problems window over window and
+// checks a persistent SolveState produces solutions bitwise identical to
+// a cold solve of each window's problem.
+func TestWarmMatchesColdRandom(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := stats.NewRNG(uint64(seed))
+		n := 6 + rng.Intn(10)
+		p := randomProblem(rng, n, 4)
+		var ws SolveState
+		for win := 0; win < 25; win++ {
+			dirty := make([]bool, n)
+			if win > 0 {
+				for k := rng.Intn(n); k > 0; k-- {
+					i := rng.Intn(n)
+					dirty[i] = true
+					for j := range p.Classes[i] {
+						p.Classes[i][j] = Option{Cost: rng.Float64() * 100, Weight: rng.Float64() * 100}
+					}
+				}
+				// Budget drift is free: it is not part of the cached state.
+				p.Budget *= 0.8 + 0.4*rng.Float64()
+			}
+			warmSol, delta, err := ws.Solve(p, dirty)
+			if err != nil {
+				t.Fatalf("seed %d win %d: warm solve: %v", seed, win, err)
+			}
+			coldSol, err := SolveGreedy(p)
+			if err != nil {
+				t.Fatalf("seed %d win %d: cold solve: %v", seed, win, err)
+			}
+			if !reflect.DeepEqual(warmSol, coldSol) {
+				t.Fatalf("seed %d win %d: warm %+v != cold %+v (delta %+v)", seed, win, warmSol, coldSol, delta)
+			}
+			if win > 0 && !delta.Warm {
+				t.Fatalf("seed %d win %d: expected warm solve, got %+v", seed, win, delta)
+			}
+			if delta.Reused+delta.Rebuilt != n {
+				t.Fatalf("seed %d win %d: delta classes %d+%d != %d", seed, win, delta.Reused, delta.Rebuilt, n)
+			}
+			if got := ws.PrevChoice(); !reflect.DeepEqual(got, warmSol.Choice) {
+				t.Fatalf("seed %d win %d: PrevChoice %v != %v", seed, win, got, warmSol.Choice)
+			}
+		}
+	}
+}
+
+// TestWarmShapeChangeFallsBackCold checks a class-count change is treated
+// as a cold solve even when dirty is supplied.
+func TestWarmShapeChangeFallsBackCold(t *testing.T) {
+	rng := stats.NewRNG(77)
+	var ws SolveState
+	p := randomProblem(rng, 6, 3)
+	if _, _, err := ws.Solve(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	p2 := randomProblem(rng, 9, 3)
+	sol, delta, err := ws.Solve(p2, make([]bool, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Warm || delta.Rebuilt != 9 {
+		t.Fatalf("shape change should force cold solve, got %+v", delta)
+	}
+	cold, _ := SolveGreedy(p2)
+	if !reflect.DeepEqual(sol, cold) {
+		t.Fatalf("post-reshape solve differs from cold: %+v vs %+v", sol, cold)
+	}
+}
+
+// tieHeavyProblem quantizes costs and weights onto coarse grids so
+// equal-ratio increments — within and across classes — are the common
+// case rather than the exception.
+func tieHeavyProblem(rng *stats.RNG, nClasses, nOpts int) Problem {
+	p := Problem{}
+	total := 0.0
+	for i := 0; i < nClasses; i++ {
+		var c []Option
+		for j := 0; j < nOpts; j++ {
+			c = append(c, Option{
+				Cost:   float64(rng.Intn(6)) * 0.5,
+				Weight: float64(1 + rng.Intn(5)),
+			})
+		}
+		p.Classes = append(p.Classes, c)
+		maxw := 0.0
+		for _, o := range c {
+			maxw = math.Max(maxw, o.Weight)
+		}
+		total += maxw
+	}
+	p.Budget = rng.Float64() * total
+	return p
+}
+
+// TestGreedyVsExactTieHeavy is the randomized property test over
+// tie-heavy instances: feasibility verdicts must agree with the exact
+// solver (post-fix, greedy infeasibility means MinWeight > Budget — no
+// slack condition needed), and feasible greedy solutions respect the
+// budget and cost at least the optimum.
+func TestGreedyVsExactTieHeavy(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		rng := stats.NewRNG(seed)
+		p := tieHeavyProblem(rng, 2+rng.Intn(8), 2+rng.Intn(4))
+		g, err := SolveGreedy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := SolveExact(p, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFeasible := MinWeight(p) <= p.Budget
+		if g.Feasible != wantFeasible {
+			t.Fatalf("seed %d: greedy Feasible=%v but MinWeight=%v Budget=%v\nproblem: %+v",
+				seed, g.Feasible, MinWeight(p), p.Budget, p)
+		}
+		if g.Feasible != e.Feasible {
+			t.Fatalf("seed %d: greedy Feasible=%v, exact Feasible=%v", seed, g.Feasible, e.Feasible)
+		}
+		if g.Feasible {
+			if g.Weight > p.Budget {
+				t.Fatalf("seed %d: feasible greedy over budget: %v > %v", seed, g.Weight, p.Budget)
+			}
+			if g.Cost < e.Cost-1e-9 {
+				t.Fatalf("seed %d: greedy cost %v below exact optimum %v", seed, g.Cost, e.Cost)
+			}
+		}
+	}
+}
+
+// FuzzGreedyInvariants fuzzes validate/hull/greedy with problems decoded
+// from raw bytes, seeded with values shaped like the figure harness's
+// (access-cost, priced-weight) options. Invariants: no panics; on valid
+// input the choice vector is in range, feasibility matches MinWeight vs
+// Budget exactly, and feasible solutions respect the budget.
+func FuzzGreedyInvariants(f *testing.F) {
+	f.Add(uint16(3), uint16(4), int64(170), []byte{10, 0, 200, 1, 150, 2, 120, 3})
+	f.Add(uint16(12), uint16(3), int64(17), []byte{0, 10, 1, 7, 2, 6, 0, 2, 3, 1})
+	f.Add(uint16(1), uint16(1), int64(-5), []byte{0, 0})
+	f.Add(uint16(4), uint16(4), int64(900), []byte{255, 255, 0, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, nc, no uint16, budget int64, raw []byte) {
+		nClasses := int(nc%24) + 1
+		nOpts := int(no%6) + 1
+		if len(raw) < 2 {
+			return
+		}
+		at := func(k int) float64 { return float64(raw[k%len(raw)]) }
+		p := Problem{Budget: float64(budget)}
+		k := 0
+		for i := 0; i < nClasses; i++ {
+			c := make([]Option, nOpts)
+			for j := range c {
+				// Quantize to quarters so ratio ties are frequent.
+				c[j] = Option{Cost: at(k) * 0.25, Weight: at(k+1) * 0.25}
+				k += 2
+			}
+			p.Classes = append(p.Classes, c)
+		}
+		sol, err := SolveGreedy(p)
+		if err != nil {
+			return // validate rejected it; nothing more to check
+		}
+		for i, ch := range sol.Choice {
+			if ch < 0 || ch >= len(p.Classes[i]) {
+				t.Fatalf("choice[%d]=%d out of range", i, ch)
+			}
+		}
+		wantFeasible := MinWeight(p) <= p.Budget
+		if sol.Feasible != wantFeasible {
+			t.Fatalf("Feasible=%v but MinWeight=%v Budget=%v", sol.Feasible, MinWeight(p), p.Budget)
+		}
+		if sol.Feasible && sol.Weight > p.Budget {
+			t.Fatalf("feasible over budget: %v > %v", sol.Weight, p.Budget)
+		}
+	})
+}

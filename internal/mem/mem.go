@@ -151,6 +151,11 @@ type Config struct {
 	// CompressedTiers lists the compressed tier configs, in the caller's
 	// preferred latency order. Their TierIDs follow the byte tiers.
 	CompressedTiers []ztier.Config
+	// CostOverrides remaps a backing medium's CostPerGB, for constrained
+	// or custom catalogs whose unit costs differ from the media defaults.
+	// It applies to byte-addressable tiers and compressed tiers alike (a
+	// compressed tier's cost is that of the medium its pool lives on).
+	CostOverrides map[media.Kind]float64
 }
 
 // regionLockStripes bounds the striped region-lock array; small managers
@@ -289,6 +294,12 @@ func NewManager(cfg Config) (*Manager, error) {
 		gen:      cfg.Content,
 		ptes:     make([]pte, cfg.NumPages),
 	}
+	cost := func(k media.Kind, def float64) float64 {
+		if v, ok := cfg.CostOverrides[k]; ok {
+			return v
+		}
+		return def
+	}
 	addBA := func(k media.Kind, capacity int64) {
 		id := TierID(len(m.tiers))
 		p := media.Props(k)
@@ -296,7 +307,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			ID: id, Name: k.Name(), Media: k,
 			CapacityPages: capacity,
 			AccessNs:      p.LoadNs,
-			CostPerGB:     p.CostPerGB,
+			CostPerGB:     cost(k, p.CostPerGB),
 		}
 		m.ba = append(m.ba, &baTier{info: info})
 		m.tiers = append(m.tiers, info)
@@ -315,7 +326,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			ID: id, Name: tc.String(), Compressed: true, Media: tc.Media,
 			Codec:     tc.Codec,
 			AccessNs:  zt.TypicalAccessNs(),
-			CostPerGB: zt.CostPerGB(),
+			CostPerGB: cost(tc.Media, zt.CostPerGB()),
 		}
 		m.cts = append(m.cts, &ctTier{info: info, tier: zt})
 		m.tiers = append(m.tiers, info)

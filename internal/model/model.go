@@ -18,6 +18,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"tierscape/internal/ilp"
 	"tierscape/internal/mem"
@@ -26,6 +27,28 @@ import (
 	"tierscape/internal/ztier"
 )
 
+// SolveStats describes how the analytical model's solve went — warm-start
+// reuse and infeasibility fallbacks. Threshold models leave it zero.
+type SolveStats struct {
+	// WarmHit is true when the warm-start solver repaired cached state
+	// incrementally rather than rebuilding every class (periodic full
+	// re-solves and the first window report false).
+	WarmHit bool
+	// ClassesReused and ClassesRebuilt count per-region MCKP classes whose
+	// cached hulls were kept vs recomputed this window.
+	ClassesReused  int
+	ClassesRebuilt int
+	// RebuildNs and RepairNs split the modeled solve time (SolverNs minus
+	// probe and RTT components) between rebuilding dirty classes and
+	// repairing the global solution, pro-rata by class counts. Deterministic
+	// like SolverNs: derived from the modeled cost, not wall clock.
+	RebuildNs float64
+	RepairNs  float64
+	// Fallbacks counts solves whose primary solution was infeasible
+	// (over budget) and was replaced by the DP / min-weight fallback.
+	Fallbacks int
+}
+
 // Recommendation is a model's output for one profile window.
 type Recommendation struct {
 	// Dest maps each region to its recommended tier.
@@ -33,6 +56,8 @@ type Recommendation struct {
 	// SolverNs is the modeled cost of computing the recommendation
 	// (ILP solve time for the analytical model; ~0 for threshold models).
 	SolverNs float64
+	// Solve carries the analytical model's solver diagnostics.
+	Solve SolveStats
 }
 
 // Model recommends per-region tier placement at each window boundary.
@@ -159,8 +184,41 @@ type Analytical struct {
 	CompressibilityAware bool
 	// ProbePages is how many pages per region a probe compresses (default 2).
 	ProbePages int
+	// WarmStart enables the warm-start incremental solver: the model keeps
+	// an ilp.SolveState plus an option arena across windows and rebuilds
+	// only the classes whose priced options drifted beyond WarmEpsilon,
+	// instead of reallocating and re-solving the full problem every window.
+	// At WarmEpsilon=0 warm runs are placement-identical (bitwise) to cold
+	// runs. Only the greedy solver supports warm start; SolverExact ignores
+	// it. Like CompressibilityAware, this makes the instance stateful: do
+	// not share one across concurrent simulations.
+	WarmStart bool
+	// WarmEpsilon is the relative drift tolerance for reusing a cached
+	// class: 0 (the default) rebuilds a class on any bitwise change to its
+	// options — exact; >0 tolerates relative drift in each option's cost
+	// and weight up to ε, trading bounded staleness for more reuse.
+	WarmEpsilon float64
+	// WarmFullEvery forces a full rebuild every k-th window as a safety net
+	// bounding ε-drift accumulation (<=0 uses DefaultWarmFullEvery).
+	WarmFullEvery int
 
 	ratioCache map[ratioKey]float64
+	warm       *warmState
+}
+
+// DefaultWarmFullEvery is the default periodic full re-solve cadence.
+const DefaultWarmFullEvery = 64
+
+// warmState is the warm-start cache: a flat option arena holding the
+// previous window's priced classes, the per-window dirty mask, and the
+// persistent solver state.
+type warmState struct {
+	arena   []ilp.Option   // flat backing, nRegions × nTiers
+	classes [][]ilp.Option // views into arena, one per region
+	dirty   []bool
+	row     []ilp.Option // scratch row for drift comparison
+	state   ilp.SolveState
+	solves  int // windows since this state was (re)built
 }
 
 type ratioKey struct {
@@ -213,12 +271,13 @@ func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommend
 	tiers := m.Tiers()
 	ratios := tco.MeasuredRatios(m)
 	dramLat := tiers[mem.DRAMTier].AccessNs
+	dramUnit := tiers[mem.DRAMTier].CostPerGB
 
 	nRegions := m.NumRegions()
 
 	var probeNs float64
-	classes := make([][]ilp.Option, nRegions)
-	for r := int64(0); r < nRegions; r++ {
+	// priceRow fills opts with region r's per-tier (cost, weight) options.
+	priceRow := func(r int64, opts []ilp.Option) {
 		// The final region may be partial; weight it by its actual pages.
 		pages := int64(mem.RegionPages)
 		if rem := m.NumPages() - r*mem.RegionPages; rem < pages {
@@ -226,7 +285,6 @@ func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommend
 		}
 		regionGB := float64(pages) * mem.PageSize / (1 << 30)
 		acc := prof.EstimatedAccesses(mem.RegionID(r))
-		opts := make([]ilp.Option, len(tiers))
 		for j, t := range tiers {
 			var penalty float64
 			unit := t.CostPerGB
@@ -241,8 +299,10 @@ func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommend
 						// at full cost ("even if the page is cold, it is
 						// not beneficial to place it in a compressed tier
 						// if the page is not compressible" — §3.3). Price
-						// the option at DRAM cost so it is dominated.
-						unit = 1.0
+						// the option at DRAM cost — the normalization unit
+						// is the catalog's DRAM CostPerGB, not 1.0 — so it
+						// is dominated even under custom catalogs.
+						unit = dramUnit
 					} else {
 						unit *= ratio
 					}
@@ -257,18 +317,36 @@ func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommend
 				Weight: regionGB * unit,
 			}
 		}
-		classes[r] = opts
-	}
-	problem := ilp.Problem{
-		Classes: classes,
-		Budget:  tco.Budget(m, ratios, a.Alpha),
 	}
 
-	var sol ilp.Solution
-	var err error
-	if a.Solver == SolverExact {
-		sol, err = ilp.SolveExact(problem, 2_000_000)
+	var stats SolveStats
+	var problem ilp.Problem
+	var dirty []bool
+	warmFull := false
+	useWarm := a.WarmStart && a.Solver != SolverExact && nRegions > 0
+	if useWarm {
+		dirty, warmFull = a.prepareWarm(nRegions, len(tiers), priceRow)
+		problem = ilp.Problem{Classes: a.warm.classes}
 	} else {
+		classes := make([][]ilp.Option, nRegions)
+		for r := int64(0); r < nRegions; r++ {
+			opts := make([]ilp.Option, len(tiers))
+			priceRow(r, opts)
+			classes[r] = opts
+		}
+		problem = ilp.Problem{Classes: classes}
+	}
+	problem.Budget = tco.Budget(m, ratios, a.Alpha)
+
+	var sol ilp.Solution
+	var delta ilp.Delta
+	var err error
+	switch {
+	case a.Solver == SolverExact:
+		sol, err = ilp.SolveExact(problem, 2_000_000)
+	case useWarm:
+		sol, delta, err = a.warm.state.Solve(problem, dirty)
+	default:
 		sol, err = ilp.SolveGreedy(problem)
 	}
 	if err != nil {
@@ -276,16 +354,112 @@ func (a *Analytical) Recommend(m *mem.Manager, prof telemetry.Profile) Recommend
 		// means no regions — keep everything in place.
 		return Keep(m)
 	}
+	if !sol.Feasible {
+		// The budget cannot fit even the lightest assignment (greedy
+		// infeasibility now implies genuine infeasibility), or an exact
+		// node-budget abort came back short. Fall back to the quantized DP
+		// — which itself degrades to the min-weight assignment when nothing
+		// fits — instead of silently acting on an over-budget placement.
+		stats.Fallbacks++
+		if dp, dperr := ilp.SolveDP(problem, 0); dperr == nil {
+			sol = dp
+		}
+	}
 
 	dest := make([]mem.TierID, nRegions)
 	for r := range dest {
 		dest[r] = tiers[sol.Choice[r]].ID
 	}
-	tax := ilp.SolveTimeNs(problem) + probeNs
+	solveNs := ilp.SolveTimeNs(problem)
+	tax := solveNs + probeNs
 	if a.Remote {
 		tax += RemoteRTTNs
 	}
-	return Recommendation{Dest: dest, SolverNs: tax}
+	if useWarm {
+		stats.WarmHit = delta.Warm && !warmFull
+		stats.ClassesReused = delta.Reused
+		stats.ClassesRebuilt = delta.Rebuilt
+		if n := delta.Reused + delta.Rebuilt; n > 0 {
+			stats.RebuildNs = solveNs * float64(delta.Rebuilt) / float64(n)
+			stats.RepairNs = solveNs - stats.RebuildNs
+		}
+	}
+	return Recommendation{Dest: dest, SolverNs: tax, Solve: stats}
+}
+
+// prepareWarm prices every region into the warm arena, marking dirty the
+// classes whose options drifted beyond WarmEpsilon since the previous
+// window, and returns the dirty mask plus whether this window is a forced
+// full rebuild (fresh or reshaped state, or the periodic safety net).
+// After a reshape the returned mask is nil, forcing a cold solve.
+func (a *Analytical) prepareWarm(nRegions int64, nTiers int, priceRow func(int64, []ilp.Option)) ([]bool, bool) {
+	w := a.warm
+	reshape := w == nil || int64(len(w.classes)) != nRegions || len(w.row) != nTiers
+	if reshape {
+		w = &warmState{
+			arena:   make([]ilp.Option, nRegions*int64(nTiers)),
+			classes: make([][]ilp.Option, nRegions),
+			dirty:   make([]bool, nRegions),
+			row:     make([]ilp.Option, nTiers),
+		}
+		for r := int64(0); r < nRegions; r++ {
+			w.classes[r] = w.arena[r*int64(nTiers) : (r+1)*int64(nTiers) : (r+1)*int64(nTiers)]
+		}
+		a.warm = w
+	}
+	fullEvery := a.WarmFullEvery
+	if fullEvery <= 0 {
+		fullEvery = DefaultWarmFullEvery
+	}
+	full := reshape || w.solves%fullEvery == 0
+	w.solves++
+	for r := int64(0); r < nRegions; r++ {
+		priceRow(r, w.row)
+		if full || rowDrifted(w.classes[r], w.row, a.WarmEpsilon) {
+			copy(w.classes[r], w.row)
+			w.dirty[r] = true
+		} else {
+			w.dirty[r] = false
+		}
+	}
+	if reshape {
+		return nil, true
+	}
+	return w.dirty, full
+}
+
+// rowDrifted reports whether a freshly priced class moved beyond eps
+// relative to the cached one. eps<=0 demands bitwise equality for reuse —
+// the setting under which warm runs are placement-identical to cold runs.
+// With eps>0 the comparison is per-option relative drift of cost and
+// weight, which for this pricing is exactly relative drift of the
+// region's estimated accesses and of its per-tier compression ratios.
+func rowDrifted(cached, fresh []ilp.Option, eps float64) bool {
+	for j := range fresh {
+		if eps <= 0 {
+			if cached[j] != fresh[j] {
+				return true
+			}
+			continue
+		}
+		if relDiff(cached[j].Cost, fresh[j].Cost) > eps ||
+			relDiff(cached[j].Weight, fresh[j].Weight) > eps {
+			return true
+		}
+	}
+	return false
+}
+
+// relDiff is |a-b| scaled by the larger magnitude (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
 }
 
 // HeMem returns the HeMem* baseline: DRAM + NVMM threshold tiering.

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/mem"
+	"tierscape/internal/telemetry"
+	"tierscape/internal/ztier"
+)
+
+// driftProfiles returns windows of slowly-drifting hotness: each window
+// perturbs `churn` regions and leaves the rest bitwise unchanged.
+func driftProfiles(regions, windows, churn int) []telemetry.Profile {
+	hot := make([]float64, regions)
+	for r := range hot {
+		hot[r] = float64(r % 16)
+	}
+	profs := make([]telemetry.Profile, 0, windows)
+	for w := 0; w < windows; w++ {
+		if w > 0 {
+			for c := 0; c < churn; c++ {
+				r := (w*7 + c*13) % regions
+				hot[r] = float64((hot[r] + 3) * 1.25)
+			}
+		}
+		profs = append(profs, profileWith(append([]float64(nil), hot...)))
+	}
+	return profs
+}
+
+// TestWarmRecommendMatchesCold drives warm and cold analytical models over
+// the same drifting profile sequence and demands identical placements —
+// the ε=0 bitwise-identity contract.
+func TestWarmRecommendMatchesCold(t *testing.T) {
+	m := standardManager(t, 24)
+	profs := driftProfiles(24, 12, 3)
+	for _, alpha := range []float64{0, 0.3, 1} {
+		cold := &Analytical{Alpha: alpha}
+		warm := &Analytical{Alpha: alpha, WarmStart: true, WarmFullEvery: 5}
+		sawHit := false
+		for w, prof := range profs {
+			rc := cold.Recommend(m, prof)
+			rw := warm.Recommend(m, prof)
+			if !reflect.DeepEqual(rc.Dest, rw.Dest) {
+				t.Fatalf("α=%v window %d: warm dest %v != cold dest %v", alpha, w, rw.Dest, rc.Dest)
+			}
+			if rc.SolverNs != rw.SolverNs {
+				t.Fatalf("α=%v window %d: warm SolverNs %v != cold %v", alpha, w, rw.SolverNs, rc.SolverNs)
+			}
+			if w == 0 {
+				if rw.Solve.WarmHit || rw.Solve.ClassesRebuilt != 24 {
+					t.Fatalf("window 0 should be a full build, got %+v", rw.Solve)
+				}
+			} else if rw.Solve.WarmHit {
+				sawHit = true
+				if rw.Solve.ClassesReused == 0 {
+					t.Fatalf("warm hit with zero reused classes: %+v", rw.Solve)
+				}
+				if rw.Solve.RebuildNs+rw.Solve.RepairNs != ilpSolveNsOf(rw) {
+					t.Fatalf("rebuild+repair split does not sum to solve ns: %+v", rw.Solve)
+				}
+			}
+		}
+		if !sawHit {
+			t.Fatalf("α=%v: no warm hit across %d drifting windows", alpha, len(profs))
+		}
+	}
+}
+
+// ilpSolveNsOf recovers the pure solve component (SolverNs minus probe and
+// RTT taxes) for a blind, local model — which is SolverNs itself.
+func ilpSolveNsOf(r Recommendation) float64 { return r.SolverNs }
+
+// TestWarmFullResolvesCadence checks the periodic safety net: every k-th
+// window rebuilds all classes and reports WarmHit=false.
+func TestWarmFullResolveCadence(t *testing.T) {
+	const regions = 8
+	m := standardManager(t, regions)
+	prof := profileWith(make([]float64, regions)) // static: maximal reuse
+	warm := &Analytical{Alpha: 0.5, WarmStart: true, WarmFullEvery: 3}
+	for w := 0; w < 9; w++ {
+		rec := warm.Recommend(m, prof)
+		wantFull := w%3 == 0
+		if wantFull {
+			if rec.Solve.WarmHit || rec.Solve.ClassesRebuilt != regions {
+				t.Fatalf("window %d: want full rebuild, got %+v", w, rec.Solve)
+			}
+		} else {
+			if !rec.Solve.WarmHit || rec.Solve.ClassesReused != regions {
+				t.Fatalf("window %d: want full reuse, got %+v", w, rec.Solve)
+			}
+		}
+	}
+}
+
+// TestWarmEpsilonTolerantReuse checks ε>0 semantics: sub-ε hotness drift
+// reuses the cached class; beyond-ε drift rebuilds it.
+func TestWarmEpsilonTolerantReuse(t *testing.T) {
+	const regions = 8
+	m := standardManager(t, regions)
+	base := make([]float64, regions)
+	for r := range base {
+		base[r] = 100
+	}
+	warm := &Analytical{Alpha: 0.5, WarmStart: true, WarmEpsilon: 0.05, WarmFullEvery: 1 << 30}
+	warm.Recommend(m, profileWith(append([]float64(nil), base...)))
+
+	drift := append([]float64(nil), base...)
+	drift[2] *= 1.01 // 1% — inside ε
+	rec := warm.Recommend(m, profileWith(drift))
+	if !rec.Solve.WarmHit || rec.Solve.ClassesRebuilt != 0 {
+		t.Fatalf("sub-ε drift should fully reuse, got %+v", rec.Solve)
+	}
+
+	drift[2] = base[2] * 1.5 // 50% — beyond ε
+	rec = warm.Recommend(m, profileWith(drift))
+	if !rec.Solve.WarmHit || rec.Solve.ClassesRebuilt != 1 || rec.Solve.ClassesReused != regions-1 {
+		t.Fatalf("beyond-ε drift should rebuild exactly one class, got %+v", rec.Solve)
+	}
+}
+
+// incompressibleManager builds a DRAM + CT-1 manager over pure random
+// (incompressible) content, optionally remapping DRAM's unit cost.
+func incompressibleManager(t *testing.T, regions int64, dramCost float64) *mem.Manager {
+	t.Helper()
+	cfg := mem.Config{
+		NumPages:        regions * mem.RegionPages,
+		Content:         corpus.NewGenerator(corpus.Random, 1),
+		CompressedTiers: []ztier.Config{ztier.CT1()},
+	}
+	if dramCost != 0 {
+		cfg.CostOverrides = map[media.Kind]float64{media.DRAM: dramCost}
+	}
+	m, err := mem.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAwareNonUnitDRAMCostDominatesIncompressible guards the pricing fix:
+// with DRAM's CostPerGB remapped to 2.0, an incompressible region's
+// compressed option must be priced at the DRAM unit (2.0) — not the old
+// hardcoded 1.0, which made the compressed tier look half price and pulled
+// incompressible pages into it.
+func TestAwareNonUnitDRAMCostDominatesIncompressible(t *testing.T) {
+	const regions = 4
+	m := incompressibleManager(t, regions, 2.0)
+	am := &Analytical{Alpha: 1, CompressibilityAware: true}
+	rec := am.Recommend(m, profileWith(make([]float64, regions)))
+	for r, d := range rec.Dest {
+		if d != mem.DRAMTier {
+			t.Fatalf("region %d sent to tier %d; incompressible regions must stay in DRAM", r, d)
+		}
+	}
+	if rec.Solve.Fallbacks != 0 {
+		t.Fatalf("α=1 budget admits the all-DRAM min-weight assignment; got fallback: %+v", rec.Solve)
+	}
+}
+
+// TestInfeasibleRecommendFallsBack guards the Feasible check: an aware
+// model at α=0 over incompressible content has a budget priced off the
+// default 0.5 global ratio that nothing can meet (every real option weighs
+// the DRAM unit), so Recommend must take the DP/min-weight fallback,
+// count it, and still emit an in-range, min-weight placement.
+func TestInfeasibleRecommendFallsBack(t *testing.T) {
+	const regions = 4
+	m := incompressibleManager(t, regions, 0)
+	am := &Analytical{Alpha: 0, CompressibilityAware: true}
+	rec := am.Recommend(m, profileWith(make([]float64, regions)))
+	if rec.Solve.Fallbacks != 1 {
+		t.Fatalf("want exactly one fallback, got %+v", rec.Solve)
+	}
+	for r, d := range rec.Dest {
+		if d != mem.DRAMTier {
+			t.Fatalf("region %d: min-weight fallback should keep DRAM (weight tie, zero cost), got tier %d", r, d)
+		}
+	}
+}

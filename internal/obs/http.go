@@ -40,6 +40,10 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("app_seconds_total", "Application virtual time (modeled).", s.appNs/1e9)
 	counter("daemon_seconds_total", "TS-Daemon virtual work (modeled).", s.daemonNs/1e9)
 	counter("solver_seconds_total", "Modeled MCKP solve time.", s.solverNs/1e9)
+	counter("solver_warm_hits_total", "Windows the warm-start solver repaired incrementally.", s.warmHits)
+	counter("solver_classes_reused_total", "MCKP classes reused from the warm-start cache.", s.classesReused)
+	counter("solver_classes_rebuilt_total", "MCKP classes rebuilt after drifting beyond epsilon.", s.classesRebuilt)
+	counter("solver_fallbacks_total", "Infeasible primary solutions replaced by the DP/min-weight fallback.", s.solverFallbacks)
 
 	p("# HELP tierscape_phase_wall_seconds_total Wall time per control-loop phase.\n")
 	p("# TYPE tierscape_phase_wall_seconds_total counter\n")

@@ -19,6 +19,10 @@ type Live struct {
 	droppedPressure, droppedCapacity, droppedBudget  int64
 	appNs, daemonNs, solverNs                        float64
 
+	// Warm-start solver counters.
+	warmHits, classesReused, classesRebuilt int64
+	solverFallbacks                         int64
+
 	// Runtime counters (wall clock; only Live sees these).
 	phaseNs             [NumPhases]float64
 	prepareNs, commitNs float64
@@ -54,6 +58,12 @@ func (l *Live) RecordWindow(w WindowSnapshot) {
 	l.appNs += w.AppNs
 	l.daemonNs += w.DaemonNs
 	l.solverNs += w.SolverNs
+	if w.WarmHit {
+		l.warmHits++
+	}
+	l.classesReused += int64(w.ClassesReused)
+	l.classesRebuilt += int64(w.ClassesRebuilt)
+	l.solverFallbacks += int64(w.SolverFallbacks)
 	for _, f := range w.Migrations {
 		k := [2]int{f.From, f.To}
 		c, ok := l.flows[k]
@@ -93,6 +103,8 @@ type liveSnapshot struct {
 	compactedPages                                   int64
 	droppedPressure, droppedCapacity, droppedBudget  int64
 	appNs, daemonNs, solverNs                        float64
+	warmHits, classesReused, classesRebuilt          int64
+	solverFallbacks                                  int64
 	phaseNs                                          [NumPhases]float64
 	prepareNs, commitNs                              float64
 	wakeups, blocked, stallNs                        int64
@@ -111,6 +123,8 @@ func (l *Live) snapshot() liveSnapshot {
 		droppedPressure: l.droppedPressure, droppedCapacity: l.droppedCapacity,
 		droppedBudget: l.droppedBudget,
 		appNs:         l.appNs, daemonNs: l.daemonNs, solverNs: l.solverNs,
+		warmHits: l.warmHits, classesReused: l.classesReused,
+		classesRebuilt: l.classesRebuilt, solverFallbacks: l.solverFallbacks,
 		phaseNs:   l.phaseNs,
 		prepareNs: l.prepareNs, commitNs: l.commitNs,
 		wakeups: l.wakeups, blocked: l.blocked, stallNs: l.stallNs,
@@ -149,6 +163,10 @@ func (l *Live) Vars() any {
 		"app_ns":           s.appNs,
 		"daemon_ns":        s.daemonNs,
 		"solver_ns":        s.solverNs,
+		"warm_hits":        s.warmHits,
+		"classes_reused":   s.classesReused,
+		"classes_rebuilt":  s.classesRebuilt,
+		"solver_fallbacks": s.solverFallbacks,
 		"phase_wall_ns":    phases,
 		"prepare_wall_ns":  s.prepareNs,
 		"commit_wall_ns":   s.commitNs,

@@ -90,6 +90,78 @@ func TestConcurrentObsStreamDeterminism(t *testing.T) {
 	}
 }
 
+// stripWarmDiagnostics returns a copy of windows with the warm-start
+// diagnostic fields zeroed. These fields intentionally differ between warm
+// and cold runs (that is what they report); everything else — placements,
+// virtual clocks, TCO, migration matrices — must be bitwise identical.
+func stripWarmDiagnostics(windows []WindowRecord) []WindowRecord {
+	out := append([]WindowRecord(nil), windows...)
+	for i := range out {
+		out[i].WarmHit = false
+		out[i].ClassesReused = 0
+		out[i].ClassesRebuilt = 0
+		out[i].SolverRebuildNs = 0
+		out[i].SolverRepairNs = 0
+	}
+	return out
+}
+
+// TestConcurrentWarmObsStreamDeterminism extends the determinism contract
+// to the warm-start solver: warm runs must be byte-identical across
+// PushThreads like cold runs, and — at ε=0 — produce the same placements,
+// virtual clocks and move streams as a cold solve, differing only in the
+// warm diagnostic fields. Runs under -race in CI (the Concurrent suite)
+// and in the solver determinism re-run (the Warm suite).
+func TestConcurrentWarmObsStreamDeterminism(t *testing.T) {
+	warmModel := func() model.Model {
+		return &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO", WarmStart: true, WarmFullEvery: 3}
+	}
+	coldModel := func() model.Model {
+		return &model.Analytical{Alpha: 0.3, ModelName: "AM-TCO"}
+	}
+
+	baseRes, baseCap, baseStream := obsRun(t, warmModel(), 1)
+	sawHit := false
+	for _, w := range baseRes.Windows {
+		if w.WarmHit {
+			sawHit = true
+			if w.ClassesReused+w.ClassesRebuilt == 0 {
+				t.Fatalf("window %d: warm hit with no class accounting: %+v", w.Window, w)
+			}
+		}
+	}
+	if !sawHit {
+		t.Fatal("no window reported a warm hit; warm determinism test is vacuous")
+	}
+
+	// Warm runs obey the push-thread byte-identity contract.
+	for _, threads := range []int{2, 8} {
+		res, cp, stream := obsRun(t, warmModel(), threads)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Fatalf("warm PushThreads=%d Result differs from PushThreads=1", threads)
+		}
+		if !reflect.DeepEqual(cp.Moves, baseCap.Moves) {
+			t.Fatalf("warm PushThreads=%d move events differ", threads)
+		}
+		if !bytes.Equal(stream, baseStream) {
+			t.Fatalf("warm PushThreads=%d JSONL stream is not byte-identical", threads)
+		}
+	}
+
+	// Warm vs cold: identical up to the warm diagnostic fields.
+	coldRes, coldCap, _ := obsRun(t, coldModel(), 1)
+	if !reflect.DeepEqual(stripWarmDiagnostics(baseRes.Windows), stripWarmDiagnostics(coldRes.Windows)) {
+		t.Fatal("warm run windows differ from cold beyond the diagnostic fields")
+	}
+	if !reflect.DeepEqual(baseCap.Moves, coldCap.Moves) {
+		t.Fatal("warm run move events differ from cold")
+	}
+	if baseRes.FinalTCO != coldRes.FinalTCO || baseRes.AppNs != coldRes.AppNs {
+		t.Fatalf("warm aggregates differ from cold: TCO %v vs %v, AppNs %v vs %v",
+			baseRes.FinalTCO, coldRes.FinalTCO, baseRes.AppNs, coldRes.AppNs)
+	}
+}
+
 // TestObsMoveEventOrder: the merged stream delivers each window's moves in
 // ascending job order, between window boundaries.
 func TestObsMoveEventOrder(t *testing.T) {

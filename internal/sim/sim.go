@@ -373,6 +373,12 @@ func Run(cfg Config) (*Result, error) {
 			profDelta := prof.OverheadNs() - lastProfOverhead
 			lastProfOverhead = prof.OverheadNs()
 			rec.SolverNs = r.SolverNs
+			rec.WarmHit = r.Solve.WarmHit
+			rec.ClassesReused = r.Solve.ClassesReused
+			rec.ClassesRebuilt = r.Solve.ClassesRebuilt
+			rec.SolverRebuildNs = r.Solve.RebuildNs
+			rec.SolverRepairNs = r.Solve.RepairNs
+			rec.SolverFallbacks = r.Solve.Fallbacks
 			rec.ProfileNs = profDelta
 			rec.PrefetchNs = prefetchNs
 			rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs

@@ -163,6 +163,16 @@ func AMPerf() Model { return &model.Analytical{Alpha: 0.7, ModelName: "AM-perf"}
 // AM returns the analytical model at an arbitrary knob α ∈ [0,1].
 func AM(alpha float64) Model { return &model.Analytical{Alpha: alpha} }
 
+// AMWarm returns the analytical model with the warm-start incremental
+// solver enabled: per-region MCKP classes whose inputs drifted less than
+// eps (relative) are reused across windows, with a forced full re-solve
+// every fullEvery windows (<=0 uses the default cadence). eps=0 rebuilds
+// on any change, making warm runs placement-identical to cold ones. The
+// returned model is stateful — use one instance per simulation.
+func AMWarm(alpha, eps float64, fullEvery int) Model {
+	return &model.Analytical{Alpha: alpha, WarmStart: true, WarmEpsilon: eps, WarmFullEvery: fullEvery}
+}
+
 // WaterfallModel returns the §6.1 waterfall model at the given hotness
 // percentile threshold (25 = conservative, 75 = aggressive).
 func WaterfallModel(pct float64) Model { return &model.Waterfall{Pct: pct} }
