@@ -35,6 +35,7 @@ func main() {
 	par := flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS); output is identical at any setting")
 	push := flag.Int("push", 0, "push threads applying migrations inside each run (0 = sim default); output is identical at any setting")
 	warm := flag.Bool("warm-solver", false, "solve each window's MCKP with the warm-start incremental solver; output is identical at any setting")
+	compactBudget := flag.Int("compact-budget", 0, "pool pages each run's per-window compaction may reclaim (0 = unbounded full sweep); NOTE: a bounded budget defers reclamation, so tables differ from the default")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) while exhibits run")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the exhibits finish (for scraping a completed batch)")
 	events := flag.String("events", "", "append every run's deterministic JSONL event stream to this file")
@@ -42,6 +43,7 @@ func main() {
 	experiments.SetParallelism(*par)
 	experiments.SetPushThreads(*push)
 	experiments.SetWarmSolver(*warm)
+	experiments.SetCompactBudget(*compactBudget)
 
 	if *metricsAddr != "" {
 		live := obs.NewLive()

@@ -62,6 +62,27 @@ func SetPushThreads(n int) {
 // (0 = sim default).
 func PushThreads() int { return int(pushThreads.Load()) }
 
+// compactBudget caps each run's per-window compaction pass; 0 means the
+// sim default (unbounded full sweep).
+var compactBudget atomic.Int64
+
+// SetCompactBudget bounds every subsequently started run's per-window
+// compaction to n reclaimed pool pages (sim.Config.CompactBudget). n < 1
+// restores the unbounded default. Unlike SetPushThreads this is a
+// SEMANTIC knob: a bounded budget defers pool-page reclamation across
+// windows, so tables legitimately differ from the unbounded sweep (while
+// remaining deterministic for any fixed value).
+func SetCompactBudget(n int) {
+	if n < 1 {
+		n = 0
+	}
+	compactBudget.Store(int64(n))
+}
+
+// CompactBudget reports the configured per-window compaction budget
+// (0 = unbounded).
+func CompactBudget() int { return int(compactBudget.Load()) }
+
 // warmSolver, when set, enables the warm-start incremental solver on
 // every analytical model the engine runs. Safe because each job owns its
 // model instance (see runJob); tables stay byte-identical either way —
@@ -212,6 +233,9 @@ func (j runJob) run(s Scale, rec obs.Recorder) (*sim.Result, error) {
 	}
 	if n := PushThreads(); n > 0 {
 		cfg.PushThreads = sim.Int(n)
+	}
+	if n := CompactBudget(); n > 0 {
+		cfg.CompactBudget = sim.Int(n)
 	}
 	if j.cfg != nil {
 		j.cfg(&cfg)

@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"testing"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/ztier"
+)
+
+// fragmentedManager builds a manager with two compressed tiers, pushes two
+// regions into each, then faults a third of the pages back out so both
+// pools are left fragmented with reclaimable zspages.
+func fragmentedManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		NumPages:        4 * RegionPages,
+		Content:         corpus.NewGenerator(corpus.Dickens, 3),
+		CompressedTiers: []ztier.Config{ztier.CT1(), ztier.CT2()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for region, tier := range []TierID{0: 1, 1: 1, 2: 2, 3: 2} {
+		if _, err := m.MigrateRegion(RegionID(region), tier); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := PageID(0); p < 4*RegionPages; p += 3 {
+		if m.TierOf(p) != 0 {
+			if _, err := m.Access(p, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+// TestCompactBudgetedMatchesUnbounded drains one manager with small
+// budgeted passes and its twin with a single unbounded pass; the totals
+// (pages, objects, bytes, cost) must be identical.
+func TestCompactBudgetedMatchesUnbounded(t *testing.T) {
+	full := fragmentedManager(t)
+	inc := fragmentedManager(t)
+
+	want := full.CompactBudgeted(0)
+	if want.PagesReclaimed == 0 || want.ObjectsMoved == 0 {
+		t.Fatalf("fragmentation produced nothing to compact: %+v", want)
+	}
+	if want.CostNs <= 0 {
+		t.Fatalf("unbounded pass moved %d objects at zero cost", want.ObjectsMoved)
+	}
+
+	var got CompactStats
+	calls := 0
+	for {
+		cs := inc.CompactBudgeted(2)
+		got.PagesReclaimed += cs.PagesReclaimed
+		got.ObjectsMoved += cs.ObjectsMoved
+		got.BytesMoved += cs.BytesMoved
+		got.CostNs += cs.CostNs
+		calls++
+		if cs.PagesReclaimed == 0 {
+			break
+		}
+		if calls > 10_000 {
+			t.Fatal("budgeted passes never drained the pools")
+		}
+	}
+	if calls < 3 {
+		t.Fatalf("budget 2 drained both pools in %d calls; too few to exercise resume", calls)
+	}
+	if got.PagesReclaimed != want.PagesReclaimed ||
+		got.ObjectsMoved != want.ObjectsMoved ||
+		got.BytesMoved != want.BytesMoved ||
+		got.CostNs != want.CostNs {
+		t.Fatalf("budgeted total %+v != unbounded %+v", got, want)
+	}
+
+	// Both managers end at the same physical footprint, and every page is
+	// still readable after the sliced passes.
+	for _, id := range []TierID{1, 2} {
+		fs, err := full.CompressedTierStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := inc.CompressedTierStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.PoolPages != is.PoolPages {
+			t.Fatalf("tier %d footprint diverged: full %d, budgeted %d", id, fs.PoolPages, is.PoolPages)
+		}
+	}
+	for p := PageID(0); p < 4*RegionPages; p++ {
+		if _, err := inc.Access(p, false); err != nil {
+			t.Fatalf("page %d unreadable after budgeted compaction: %v", p, err)
+		}
+	}
+}
+
+// TestCompactBudgetedSkipsQuietTiers: once a tier's pool has been fully
+// compacted and sees no churn, later passes skip it without changing what
+// is reclaimed or charged.
+func TestCompactBudgetedSkipsQuietTiers(t *testing.T) {
+	m := fragmentedManager(t)
+
+	first := m.CompactBudgeted(0)
+	if first.PagesReclaimed == 0 {
+		t.Fatal("first pass reclaimed nothing")
+	}
+	if first.SkippedTiers != 0 {
+		t.Fatalf("first pass skipped %d tiers; all start dirty", first.SkippedTiers)
+	}
+
+	second := m.CompactBudgeted(0)
+	if second.SkippedTiers != 2 {
+		t.Fatalf("quiet pass skipped %d tiers, want 2", second.SkippedTiers)
+	}
+	if second.PagesReclaimed != 0 || second.ObjectsMoved != 0 || second.CostNs != 0 {
+		t.Fatalf("quiet pass did work: %+v", second)
+	}
+
+	// Churn only tier 1 (faults free pool objects); the next pass must
+	// rescan tier 1 but still skip tier 2.
+	churned := 0
+	for p := PageID(0); p < 2*RegionPages && churned < 8; p++ {
+		if m.TierOf(p) == 1 {
+			if _, err := m.Access(p, false); err != nil {
+				t.Fatal(err)
+			}
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Fatal("no pages left in tier 1 to churn")
+	}
+	third := m.CompactBudgeted(0)
+	if third.SkippedTiers != 1 {
+		t.Fatalf("post-churn pass skipped %d tiers, want 1 (only the quiet one)", third.SkippedTiers)
+	}
+}
+
+// TestCompactBudgetedResumesCutTier: a budget-cut tier stays dirty and is
+// revisited on the next pass even without new churn, so a sequence of
+// bounded passes cannot strand reclaimable pages behind the cursor.
+func TestCompactBudgetedResumesCutTier(t *testing.T) {
+	m := fragmentedManager(t)
+	twin := fragmentedManager(t)
+	want := twin.CompactBudgeted(0)
+
+	cs := m.CompactBudgeted(1)
+	if cs.PagesReclaimed == 0 {
+		t.Fatal("bounded pass reclaimed nothing")
+	}
+	if cs.SkippedTiers != 0 {
+		t.Fatalf("first bounded pass skipped %d tiers", cs.SkippedTiers)
+	}
+	total := cs.PagesReclaimed
+	for i := 0; i < 10_000 && total < want.PagesReclaimed; i++ {
+		cs = m.CompactBudgeted(1)
+		if cs.PagesReclaimed == 0 {
+			break
+		}
+		total += cs.PagesReclaimed
+	}
+	if total != want.PagesReclaimed {
+		t.Fatalf("bounded passes reclaimed %d pages total, want %d", total, want.PagesReclaimed)
+	}
+}

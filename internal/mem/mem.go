@@ -205,6 +205,14 @@ type Manager struct {
 	migrations atomic.Int64
 	rejects    atomic.Int64
 	migratedIn []atomic.Int64 // by TierID
+
+	// Budgeted-compaction state, guarded by compactMu (CompactBudgeted may
+	// be called concurrently with itself in stress tests; tier access
+	// inside is already tier-locked).
+	compactMu     sync.Mutex
+	compactCursor int     // ct index the next budgeted pass starts at
+	compactSeen   []int64 // per-ct tier churn at last completed pass
+	compactDirty  []bool  // per-ct: last pass incomplete (budget-cut or never ran)
 }
 
 // pageBufPool recycles page-sized work buffers across Access and
@@ -332,6 +340,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.tiers = append(m.tiers, info)
 	}
 	m.migratedIn = make([]atomic.Int64, len(m.tiers))
+	m.compactSeen = make([]int64, len(m.cts))
+	m.compactDirty = make([]bool, len(m.cts))
+	for i := range m.compactDirty {
+		m.compactDirty[i] = true // every tier needs its first pass
+	}
 	stripes := m.NumRegions()
 	if stripes > regionLockStripes {
 		stripes = regionLockStripes
@@ -1162,18 +1175,83 @@ func (m *Manager) SampleRegionRatio(r RegionID, codecName string, samples int) (
 	return float64(comp) / float64(orig), nil
 }
 
-// CompactAll compacts every compressed tier's pool (the kernel's
-// zs_compact pass TS-Daemon triggers between windows) and returns the
-// total pool pages reclaimed and the modeled daemon cost.
+// CompactAll compacts every compressed tier's pool to completion (the
+// kernel's zs_compact pass TS-Daemon triggers between windows) and
+// returns the total pool pages reclaimed and the modeled daemon cost.
+// Equivalent to CompactBudgeted(0).
 func (m *Manager) CompactAll() (int, float64) {
-	total := 0
-	var ns float64
-	for _, c := range m.cts {
-		n, lat := c.tier.Compact()
-		total += n
-		ns += lat
+	cs := m.CompactBudgeted(0)
+	return cs.PagesReclaimed, cs.CostNs
+}
+
+// CompactStats reports what one budgeted compaction pass over the
+// manager's compressed tiers did.
+type CompactStats struct {
+	// PagesReclaimed is the total pool pages returned across tiers.
+	PagesReclaimed int
+	// ObjectsMoved is the total objects relocated to reclaim them.
+	ObjectsMoved int
+	// BytesMoved is the total compressed bytes those objects added up to.
+	BytesMoved int64
+	// SkippedTiers counts tiers skipped because nothing was stored to or
+	// freed from their pool since their last completed pass.
+	SkippedTiers int
+	// CostNs is the modeled daemon cost of the moves.
+	CostNs float64
+}
+
+// CompactBudgeted compacts the compressed tiers round-robin until at most
+// budgetPages pool pages have been reclaimed in total (budgetPages <= 0 =
+// unbounded, i.e. every tier compacts to completion). A cursor rotates the
+// starting tier across calls so a small budget cannot starve later tiers,
+// and tiers whose pools saw no stores or frees since their last completed
+// pass are skipped: a fully compacted pool that has not churned has
+// nothing to reclaim, so skipping is purely a scan-avoidance optimization
+// and never changes the pages reclaimed or the modeled cost. A tier whose
+// pass was cut short by the budget stays dirty and is revisited even if
+// quiet.
+func (m *Manager) CompactBudgeted(budgetPages int) CompactStats {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	var cs CompactStats
+	n := len(m.cts)
+	if n == 0 {
+		return cs
 	}
-	return total, ns
+	unbounded := budgetPages <= 0
+	remaining := budgetPages
+	start := m.compactCursor % n
+	for i := 0; i < n; i++ {
+		ti := (start + i) % n
+		c := m.cts[ti]
+		if !m.compactDirty[ti] && c.tier.Churn() == m.compactSeen[ti] {
+			cs.SkippedTiers++
+			continue
+		}
+		tierBudget := 0
+		if !unbounded {
+			tierBudget = remaining
+		}
+		r, ns := c.tier.CompactPartial(tierBudget)
+		cs.PagesReclaimed += r.PagesReclaimed
+		cs.ObjectsMoved += r.ObjectsMoved
+		cs.BytesMoved += r.BytesMoved
+		cs.CostNs += ns
+		if !unbounded {
+			remaining -= r.PagesReclaimed
+			if remaining <= 0 {
+				// Budget exhausted: this tier may hold more reclaimable
+				// pages, so it stays dirty and the next pass resumes here.
+				m.compactDirty[ti] = true
+				m.compactCursor = ti
+				return cs
+			}
+		}
+		m.compactDirty[ti] = false
+		m.compactSeen[ti] = c.tier.Churn()
+	}
+	m.compactCursor = start
+	return cs
 }
 
 // Counters reports manager-wide counters.

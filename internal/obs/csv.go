@@ -38,7 +38,8 @@ func (c *CSVWriter) RecordWindow(ws WindowSnapshot) {
 			"window", "app_ns", "daemon_ns", "solver_ns", "migrate_ns",
 			"compact_ns", "profile_ns", "prefetch_ns", "tco", "faults",
 			"moves", "rejected", "skipped", "tier_full_moves",
-			"compacted_pages", "dropped_pressure", "dropped_capacity",
+			"compacted_pages", "compact_objects_moved",
+			"compact_skipped_tiers", "dropped_pressure", "dropped_capacity",
 			"dropped_budget",
 		}
 		for t := 0; t < tiers; t++ {
@@ -58,7 +59,8 @@ func (c *CSVWriter) RecordWindow(ws WindowSnapshot) {
 		g(ws.TCO), strconv.FormatInt(ws.Faults, 10),
 		strconv.Itoa(ws.Moves), strconv.Itoa(ws.Rejected),
 		strconv.Itoa(ws.Skipped), strconv.Itoa(ws.TierFullMoves),
-		strconv.Itoa(ws.CompactedPages), strconv.Itoa(ws.DroppedPressure),
+		strconv.Itoa(ws.CompactedPages), strconv.Itoa(ws.CompactObjectsMoved),
+		strconv.Itoa(ws.CompactSkippedTiers), strconv.Itoa(ws.DroppedPressure),
 		strconv.Itoa(ws.DroppedCapacity), strconv.Itoa(ws.DroppedBudget),
 	}
 	for t := 0; t < tiers; t++ {

@@ -34,6 +34,8 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("skipped_pages_total", "Planned pages already resident in their destination.", s.skipped)
 	counter("tier_full_moves_total", "Region moves whose commit observed a full destination (ErrTierFull).", s.tierFullMoves)
 	counter("compacted_pages_total", "Pool pages reclaimed by post-migration compaction.", s.compactedPages)
+	counter("compact_objects_moved_total", "Compressed objects relocated by post-migration compaction.", s.compactObjectsMoved)
+	counter("compact_skipped_tiers_total", "Quiet compressed tiers skipped by the budgeted compactor.", s.compactSkippedTiers)
 	counter("filter_dropped_total{reason=\"pressure\"}", "Moves dropped by the migration filter.", s.droppedPressure)
 	counter("filter_dropped_total{reason=\"capacity\"}", "Moves dropped by the migration filter.", s.droppedCapacity)
 	counter("filter_dropped_total{reason=\"budget\"}", "Moves dropped by the migration filter.", s.droppedBudget)

@@ -16,6 +16,7 @@ type Live struct {
 	// Counters, accumulated across every recorded window.
 	windows, moves, rejected, skipped, tierFullMoves int64
 	compactedPages                                   int64
+	compactObjectsMoved, compactSkippedTiers         int64
 	droppedPressure, droppedCapacity, droppedBudget  int64
 	appNs, daemonNs, solverNs                        float64
 
@@ -52,6 +53,8 @@ func (l *Live) RecordWindow(w WindowSnapshot) {
 	l.skipped += int64(w.Skipped)
 	l.tierFullMoves += int64(w.TierFullMoves)
 	l.compactedPages += int64(w.CompactedPages)
+	l.compactObjectsMoved += int64(w.CompactObjectsMoved)
+	l.compactSkippedTiers += int64(w.CompactSkippedTiers)
 	l.droppedPressure += int64(w.DroppedPressure)
 	l.droppedCapacity += int64(w.DroppedCapacity)
 	l.droppedBudget += int64(w.DroppedBudget)
@@ -101,6 +104,7 @@ func (l *Live) RecordRuntime(rt WindowRuntime) {
 type liveSnapshot struct {
 	windows, moves, rejected, skipped, tierFullMoves int64
 	compactedPages                                   int64
+	compactObjectsMoved, compactSkippedTiers         int64
 	droppedPressure, droppedCapacity, droppedBudget  int64
 	appNs, daemonNs, solverNs                        float64
 	warmHits, classesReused, classesRebuilt          int64
@@ -119,8 +123,10 @@ func (l *Live) snapshot() liveSnapshot {
 	s := liveSnapshot{
 		windows: l.windows, moves: l.moves, rejected: l.rejected,
 		skipped: l.skipped, tierFullMoves: l.tierFullMoves,
-		compactedPages:  l.compactedPages,
-		droppedPressure: l.droppedPressure, droppedCapacity: l.droppedCapacity,
+		compactedPages:      l.compactedPages,
+		compactObjectsMoved: l.compactObjectsMoved,
+		compactSkippedTiers: l.compactSkippedTiers,
+		droppedPressure:     l.droppedPressure, droppedCapacity: l.droppedCapacity,
 		droppedBudget: l.droppedBudget,
 		appNs:         l.appNs, daemonNs: l.daemonNs, solverNs: l.solverNs,
 		warmHits: l.warmHits, classesReused: l.classesReused,
@@ -151,29 +157,31 @@ func (l *Live) Vars() any {
 		phases[Phase(p).String()] = s.phaseNs[p]
 	}
 	v := map[string]any{
-		"windows":          s.windows,
-		"moved_pages":      s.moves,
-		"rejected_pages":   s.rejected,
-		"skipped_pages":    s.skipped,
-		"tier_full_moves":  s.tierFullMoves,
-		"compacted_pages":  s.compactedPages,
-		"dropped_pressure": s.droppedPressure,
-		"dropped_capacity": s.droppedCapacity,
-		"dropped_budget":   s.droppedBudget,
-		"app_ns":           s.appNs,
-		"daemon_ns":        s.daemonNs,
-		"solver_ns":        s.solverNs,
-		"warm_hits":        s.warmHits,
-		"classes_reused":   s.classesReused,
-		"classes_rebuilt":  s.classesRebuilt,
-		"solver_fallbacks": s.solverFallbacks,
-		"phase_wall_ns":    phases,
-		"prepare_wall_ns":  s.prepareNs,
-		"commit_wall_ns":   s.commitNs,
-		"sched_wakeups":    s.wakeups,
-		"sched_blocked":    s.blocked,
-		"sched_stall_ns":   s.stallNs,
-		"migrations":       s.flows,
+		"windows":               s.windows,
+		"moved_pages":           s.moves,
+		"rejected_pages":        s.rejected,
+		"skipped_pages":         s.skipped,
+		"tier_full_moves":       s.tierFullMoves,
+		"compacted_pages":       s.compactedPages,
+		"compact_objects_moved": s.compactObjectsMoved,
+		"compact_skipped_tiers": s.compactSkippedTiers,
+		"dropped_pressure":      s.droppedPressure,
+		"dropped_capacity":      s.droppedCapacity,
+		"dropped_budget":        s.droppedBudget,
+		"app_ns":                s.appNs,
+		"daemon_ns":             s.daemonNs,
+		"solver_ns":             s.solverNs,
+		"warm_hits":             s.warmHits,
+		"classes_reused":        s.classesReused,
+		"classes_rebuilt":       s.classesRebuilt,
+		"solver_fallbacks":      s.solverFallbacks,
+		"phase_wall_ns":         phases,
+		"prepare_wall_ns":       s.prepareNs,
+		"commit_wall_ns":        s.commitNs,
+		"sched_wakeups":         s.wakeups,
+		"sched_blocked":         s.blocked,
+		"sched_stall_ns":        s.stallNs,
+		"migrations":            s.flows,
 	}
 	if s.hasLast {
 		v["last_window"] = s.last

@@ -111,6 +111,14 @@ type WindowSnapshot struct {
 	// CompactedPages is how many pool pages compaction reclaimed this
 	// window.
 	CompactedPages int
+	// CompactObjectsMoved is how many live compressed objects compaction
+	// relocated to reclaim those pages — the work CompactNs is charged
+	// from.
+	CompactObjectsMoved int
+	// CompactSkippedTiers counts compressed tiers the budgeted compactor
+	// skipped this window because their pools saw no churn since their
+	// last completed pass.
+	CompactSkippedTiers int
 	// DroppedPressure/DroppedCapacity/DroppedBudget echo the migration
 	// filter's per-window drop counters (§6.7).
 	DroppedPressure, DroppedCapacity, DroppedBudget int

@@ -85,6 +85,16 @@ type Config struct {
 	// engine in apply.go guarantees it — so the knob trades Go wall-clock
 	// time only, never simulated outcomes.
 	PushThreads *int
+	// CompactBudget bounds the per-window zs_compact pass to roughly this
+	// many reclaimed pool pages across all compressed tiers (the budgeted
+	// round-robin in mem.CompactBudgeted; pools keep resume cursors so the
+	// remainder carries over to later windows). nil = unbounded, i.e. the
+	// historical compact-to-completion sweep. Must be >= 1 when set; use
+	// Int to build the pointer inline. Unlike PushThreads this is a
+	// semantic knob — a bounded budget defers reclamation, so results
+	// legitimately differ from the unbounded sweep — but any fixed value
+	// remains byte-identical at every PushThreads setting.
+	CompactBudget *int
 	// PrefetchFaultThreshold enables the §3.2 prefetcher: when a region
 	// accumulates this many compressed-tier faults within one window, the
 	// daemon proactively decompresses the whole region back to DRAM
@@ -235,6 +245,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		pushThreads = *cfg.PushThreads
 	}
+	compactBudget := 0 // unbounded
+	if cfg.CompactBudget != nil {
+		if *cfg.CompactBudget < 1 {
+			return nil, fmt.Errorf("sim: CompactBudget must be >= 1, got %d", *cfg.CompactBudget)
+		}
+		compactBudget = *cfg.CompactBudget
+	}
 
 	var prof telemetry.Recorder
 	var err error
@@ -361,14 +378,16 @@ func Run(cfg Config) (*Result, error) {
 			rec.DroppedCapacity = plan.DroppedCapacity
 			rec.DroppedBudget = plan.DroppedBudget
 			// Post-migration pool compaction (zs_compact): churned tiers
-			// return empty zspages.
-			compacted, compactNs := m.CompactAll()
+			// return empty zspages, up to the configured per-window budget.
+			compacted := m.CompactBudgeted(compactBudget)
 			if recd != nil {
 				rt.PhaseWallNs[obs.PhaseCompact] = wallSince(&wall)
 			}
-			rec.CompactedPages = compacted
-			rec.CompactNs = compactNs
-			migNs += compactNs
+			rec.CompactedPages = compacted.PagesReclaimed
+			rec.CompactObjectsMoved = compacted.ObjectsMoved
+			rec.CompactSkippedTiers = compacted.SkippedTiers
+			rec.CompactNs = compacted.CostNs
+			migNs += compacted.CostNs
 
 			profDelta := prof.OverheadNs() - lastProfOverhead
 			lastProfOverhead = prof.OverheadNs()

@@ -22,6 +22,10 @@ type z3Page struct {
 	data        [PageSize]byte
 	sizes       [3]int // bytes per slot, 0 = free
 	middleStart int    // chunk index of middle slot (valid when sizes[z3Middle] > 0)
+	// gens holds one generation per slot, bumped on Free of that slot; a
+	// slot can be refilled while the page stays live, so the tag is per
+	// slot and survives whole-page recycling (see zbudPage.gens).
+	gens [3]uint32
 
 	prev, next int
 	listIdx    int
@@ -88,12 +92,12 @@ func NewZ3fold() *Z3fold {
 // Name implements Pool.
 func (*Z3fold) Name() string { return "z3fold" }
 
-func z3Handle(pageIdx int, slot z3Slot) Handle {
-	return Handle(uint64(pageIdx)<<2 | uint64(slot))
+func z3Handle(pageIdx int, slot z3Slot, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(pageIdx))<<2 | uint64(slot))
 }
 
-func z3Decode(h Handle) (pageIdx int, slot z3Slot) {
-	return int(h >> 2), z3Slot(h & 3)
+func z3Decode(h Handle) (pageIdx int, slot z3Slot, gen uint32) {
+	return int(uint32(h) >> 2), z3Slot(h & 3), uint32(h >> 32)
 }
 
 func (z *Z3fold) listRemove(idx int) {
@@ -206,7 +210,7 @@ func (z *Z3fold) Store(data []byte) (Handle, error) {
 		z.stats.Objects++
 		z.stats.StoredBytes += int64(size)
 		z.stats.Stores++
-		return z3Handle(idx, slot), nil
+		return z3Handle(idx, slot, p.gens[slot]), nil
 	}
 
 	idx := z.allocPage()
@@ -217,7 +221,7 @@ func (z *Z3fold) Store(data []byte) (Handle, error) {
 	z.stats.Objects++
 	z.stats.StoredBytes += int64(size)
 	z.stats.Stores++
-	return z3Handle(idx, z3First), nil
+	return z3Handle(idx, z3First, p.gens[z3First]), nil
 }
 
 func (z *Z3fold) allocPage() int {
@@ -225,7 +229,10 @@ func (z *Z3fold) allocPage() int {
 		idx := z.freePages[n-1]
 		z.freePages = z.freePages[:n-1]
 		p := z.pages[idx]
+		// Reset the page but keep slot generations (see Zbud.allocPage).
+		gens := p.gens
 		*p = z3Page{prev: -1, next: -1, listIdx: -1, live: true}
+		p.gens = gens
 		z.stats.PoolPages++
 		return idx
 	}
@@ -235,12 +242,12 @@ func (z *Z3fold) allocPage() int {
 }
 
 func (z *Z3fold) page(h Handle) (*z3Page, int, int, error) {
-	idx, slot := z3Decode(h)
-	if idx < 0 || idx >= len(z.pages) || slot > z3Last {
+	idx, slot, gen := z3Decode(h)
+	if idx >= len(z.pages) || slot > z3Last {
 		return nil, 0, 0, ErrInvalidHandle
 	}
 	p := z.pages[idx]
-	if !p.live {
+	if !p.live || p.gens[slot] != gen {
 		return nil, 0, 0, ErrInvalidHandle
 	}
 	size := p.sizes[slot]
@@ -256,7 +263,7 @@ func (z *Z3fold) Load(h Handle, dst []byte) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
-	_, slot := z3Decode(h)
+	_, slot, _ := z3Decode(h)
 	switch slot {
 	case z3First:
 		return append(dst, p.data[:size]...), nil
@@ -280,9 +287,10 @@ func (z *Z3fold) Free(h Handle) error {
 	if err != nil {
 		return err
 	}
-	_, slot := z3Decode(h)
+	_, slot, _ := z3Decode(h)
 	z.listRemove(idx)
 	p.sizes[slot] = 0
+	p.gens[slot]++
 	z.stats.Objects--
 	z.stats.StoredBytes -= int64(size)
 	z.stats.Frees++
@@ -299,6 +307,9 @@ func (z *Z3fold) Free(h Handle) error {
 // Compact implements Pool: kept a no-op to match current kernels (z3fold's
 // limited compaction was removed along with the allocator's deprecation).
 func (z *Z3fold) Compact() int { return 0 }
+
+// CompactPartial implements Pool: no compactor, zero work.
+func (z *Z3fold) CompactPartial(budgetPages int) CompactResult { return CompactResult{} }
 
 // Stats implements Pool.
 func (z *Z3fold) Stats() Stats { return z.stats }

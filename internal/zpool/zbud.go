@@ -12,6 +12,11 @@ type zbudPage struct {
 	data  [PageSize]byte
 	first int // size of the first buddy (0 = empty)
 	last  int // size of the last buddy (0 = empty)
+	// gens holds one generation per buddy slot, bumped when that slot is
+	// freed. A buddy slot can be refilled while its page stays live (a
+	// later Store first-fits into it), so the tag must be per slot, not
+	// per page, and must survive whole-page recycling.
+	gens [2]uint32
 	// list linkage within an unbuddied list (index into pool's pages, -1 = none)
 	prev, next int
 	listIdx    int // which unbuddied list this page is on (-1 = none/buddied)
@@ -52,12 +57,12 @@ const (
 	zbudLast  = 1
 )
 
-func zbudHandle(pageIdx, which int) Handle {
-	return Handle(uint64(pageIdx)<<1 | uint64(which))
+func zbudHandle(pageIdx, which int, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(pageIdx))<<1 | uint64(which))
 }
 
-func zbudDecode(h Handle) (pageIdx, which int) {
-	return int(h >> 1), int(h & 1)
+func zbudDecode(h Handle) (pageIdx, which int, gen uint32) {
+	return int(uint32(h) >> 1), int(h & 1), uint32(h >> 32)
 }
 
 func (z *Zbud) listRemove(idx int) {
@@ -125,7 +130,7 @@ func (z *Zbud) Store(data []byte) (Handle, error) {
 		z.stats.Objects++
 		z.stats.StoredBytes += int64(size)
 		z.stats.Stores++
-		return zbudHandle(idx, which), nil
+		return zbudHandle(idx, which, p.gens[which]), nil
 	}
 
 	// No fit: allocate a new page.
@@ -137,7 +142,7 @@ func (z *Zbud) Store(data []byte) (Handle, error) {
 	z.stats.Objects++
 	z.stats.StoredBytes += int64(size)
 	z.stats.Stores++
-	return zbudHandle(idx, zbudFirst), nil
+	return zbudHandle(idx, zbudFirst, p.gens[zbudFirst]), nil
 }
 
 func (z *Zbud) allocPage() int {
@@ -145,7 +150,11 @@ func (z *Zbud) allocPage() int {
 		idx := z.freePages[n-1]
 		z.freePages = z.freePages[:n-1]
 		p := z.pages[idx]
+		// Reset the page but keep slot generations: stale handles into the
+		// previous occupants must stay invalid after recycling.
+		gens := p.gens
 		*p = zbudPage{prev: -1, next: -1, listIdx: -1, live: true}
+		p.gens = gens
 		z.stats.PoolPages++
 		return idx
 	}
@@ -155,12 +164,12 @@ func (z *Zbud) allocPage() int {
 }
 
 func (z *Zbud) page(h Handle) (*zbudPage, int, int, error) {
-	idx, which := zbudDecode(h)
-	if idx < 0 || idx >= len(z.pages) {
+	idx, which, gen := zbudDecode(h)
+	if idx >= len(z.pages) {
 		return nil, 0, 0, ErrInvalidHandle
 	}
 	p := z.pages[idx]
-	if !p.live {
+	if !p.live || p.gens[which] != gen {
 		return nil, 0, 0, ErrInvalidHandle
 	}
 	var size int
@@ -181,7 +190,7 @@ func (z *Zbud) Load(h Handle, dst []byte) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
-	_, which := zbudDecode(h)
+	_, which, _ := zbudDecode(h)
 	if which == zbudFirst {
 		return append(dst, p.data[:size]...), nil
 	}
@@ -200,13 +209,14 @@ func (z *Zbud) Free(h Handle) error {
 	if err != nil {
 		return err
 	}
-	_, which := zbudDecode(h)
+	_, which, _ := zbudDecode(h)
 	z.listRemove(idx)
 	if which == zbudFirst {
 		p.first = 0
 	} else {
 		p.last = 0
 	}
+	p.gens[which]++
 	z.stats.Objects--
 	z.stats.StoredBytes -= int64(size)
 	z.stats.Frees++
@@ -223,6 +233,9 @@ func (z *Zbud) Free(h Handle) error {
 // Compact implements Pool: the kernel's zbud has no compactor, so this is
 // a no-op.
 func (z *Zbud) Compact() int { return 0 }
+
+// CompactPartial implements Pool: no compactor, zero work.
+func (z *Zbud) CompactPartial(budgetPages int) CompactResult { return CompactResult{} }
 
 // Stats implements Pool.
 func (z *Zbud) Stats() Stats { return z.stats }

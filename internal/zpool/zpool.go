@@ -24,6 +24,12 @@ const PageSize = 4096
 
 // Handle identifies a stored object within a pool. Handles are only
 // meaningful to the pool that issued them.
+//
+// Every pool encodes a generation tag in the high 32 bits of the handle
+// and a location in the low 32 bits. The location slot's generation is
+// bumped when the object is freed, so a stale handle kept across a
+// free-then-store cycle can never alias the slot's new occupant: it fails
+// the generation check and reports ErrInvalidHandle instead.
 type Handle uint64
 
 // Common pool errors.
@@ -42,6 +48,28 @@ type Stats struct {
 	PoolPages int
 	// Stores and Frees count operations over the pool's lifetime.
 	Stores, Frees int64
+}
+
+// CompactResult reports what one compaction pass actually did: how many
+// backing pool pages it returned, how many live objects it relocated to
+// do so, and how many compressed bytes those objects added up to. The
+// tier layer charges the modeled compaction cost from ObjectsMoved and
+// BytesMoved — the work really performed — rather than guessing from
+// reclaimed pages.
+type CompactResult struct {
+	// PagesReclaimed is the number of 4 KB pool pages returned.
+	PagesReclaimed int
+	// ObjectsMoved is the number of live objects relocated.
+	ObjectsMoved int
+	// BytesMoved is the total compressed size of the relocated objects.
+	BytesMoved int64
+}
+
+// Add accumulates o into r.
+func (r *CompactResult) Add(o CompactResult) {
+	r.PagesReclaimed += o.PagesReclaimed
+	r.ObjectsMoved += o.ObjectsMoved
+	r.BytesMoved += o.BytesMoved
 }
 
 // PoolBytes returns the pool's physical footprint in bytes.
@@ -76,8 +104,16 @@ type Pool interface {
 	Free(h Handle) error
 	// Compact migrates objects to reduce fragmentation and returns the
 	// number of pool pages reclaimed. Only zsmalloc compacts (the
-	// kernel's zs_compact); zbud and z3fold return 0.
+	// kernel's zs_compact); zbud and z3fold return 0. Equivalent to
+	// CompactPartial(0).PagesReclaimed.
 	Compact() int
+	// CompactPartial compacts until at least budgetPages pool pages have
+	// been reclaimed (it may overshoot by at most one zspage) or nothing
+	// more can be reclaimed; budgetPages <= 0 means unbounded. Pools keep
+	// a resume cursor so successive bounded calls continue where the last
+	// stopped instead of rescanning from the start. zbud and z3fold have
+	// no compactor and return a zero CompactResult.
+	CompactPartial(budgetPages int) CompactResult
 	// Stats returns current accounting.
 	Stats() Stats
 }

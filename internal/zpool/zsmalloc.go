@@ -1,5 +1,7 @@
 package zpool
 
+import "sort"
+
 // zsmalloc: size-class allocator. Objects are rounded up to one of 128
 // size classes (32-byte spacing). Each class carves its objects out of
 // "zspages" — groups of 1..4 contiguous pool pages sized to minimize
@@ -38,8 +40,12 @@ type zsClass struct {
 }
 
 // zsLoc is a live object's location; slot < 0 marks a free table entry.
+// gen is the entry's generation: it is bumped every time the entry is
+// freed and survives recycling, so a handle minted for a previous
+// occupant of this entry can never resolve to the current one.
 type zsLoc struct {
 	class, zspage, slot int32
+	gen                 uint32
 }
 
 // Zsmalloc is the size-class based pool manager.
@@ -48,6 +54,21 @@ type Zsmalloc struct {
 	locs     []zsLoc
 	freeLocs []int
 	stats    Stats
+	// compactCursor is the class index where the next bounded
+	// CompactPartial resumes after a budget cut.
+	compactCursor int
+	// donorScratch is reused by pickDonor's sparseness sort.
+	donorScratch []int
+}
+
+// zsHandle packs a location-table index and its generation.
+func zsHandle(li int, gen uint32) Handle {
+	return Handle(uint64(gen)<<32 | uint64(uint32(li)))
+}
+
+// zsDecode splits a handle into location-table index and generation.
+func zsDecode(h Handle) (li int, gen uint32) {
+	return int(uint32(h)), uint32(h >> 32)
 }
 
 // NewZsmalloc returns an empty zsmalloc pool.
@@ -82,6 +103,9 @@ func (z *Zsmalloc) allocLoc(l zsLoc) int {
 	if n := len(z.freeLocs); n > 0 {
 		idx := z.freeLocs[n-1]
 		z.freeLocs = z.freeLocs[:n-1]
+		// Recycled entries keep their generation (bumped at free time), so
+		// handles minted for previous occupants stay invalid.
+		l.gen = z.locs[idx].gen
 		z.locs[idx] = l
 		return idx
 	}
@@ -120,7 +144,7 @@ func (z *Zsmalloc) Store(data []byte) (Handle, error) {
 	z.stats.Objects++
 	z.stats.StoredBytes += int64(size)
 	z.stats.Stores++
-	return Handle(loc), nil
+	return zsHandle(loc, z.locs[loc].gen), nil
 }
 
 func (z *Zsmalloc) allocZspage(c *zsClass) int {
@@ -151,12 +175,12 @@ func (z *Zsmalloc) allocZspage(c *zsClass) int {
 }
 
 func (z *Zsmalloc) loc(h Handle) (*zsClass, *zsZspage, zsLoc, error) {
-	li := int(h)
-	if li < 0 || li >= len(z.locs) {
+	li, gen := zsDecode(h)
+	if li >= len(z.locs) {
 		return nil, nil, zsLoc{}, ErrInvalidHandle
 	}
 	l := z.locs[li]
-	if l.slot < 0 {
+	if l.slot < 0 || l.gen != gen {
 		return nil, nil, zsLoc{}, ErrInvalidHandle
 	}
 	c := z.classes[l.class]
@@ -199,8 +223,11 @@ func (z *Zsmalloc) Free(h Handle) error {
 	zp.owner[l.slot] = -1
 	zp.free = append(zp.free, int(l.slot))
 	zp.used--
-	z.locs[h] = zsLoc{slot: -1}
-	z.freeLocs = append(z.freeLocs, int(h))
+	li, _ := zsDecode(h)
+	// Bump the generation so this handle (and any copy of it) is dead even
+	// after the entry is recycled for a new object.
+	z.locs[li] = zsLoc{slot: -1, gen: l.gen + 1}
+	z.freeLocs = append(z.freeLocs, li)
 	z.stats.Objects--
 	z.stats.StoredBytes -= int64(size)
 	z.stats.Frees++
@@ -235,35 +262,46 @@ func removeFromPartial(c *zsClass, zi int) {
 // pages are reclaimed) or no free slots remain elsewhere — the kernel's
 // zs_compact. Handles stay valid across compaction. It returns the number
 // of pool pages reclaimed.
-func (z *Zsmalloc) Compact() int {
-	reclaimed := 0
-	for _, c := range z.classes {
-		reclaimed += z.compactClass(c)
+func (z *Zsmalloc) Compact() int { return z.CompactPartial(0).PagesReclaimed }
+
+// CompactPartial implements Pool. A bounded call (budgetPages > 0) starts
+// at the class the previous bounded call stopped in and wraps around all
+// classes, stopping once at least budgetPages pool pages have been
+// reclaimed (overshooting by at most one zspage); the cursor then parks on
+// the unfinished class. Classes are independent — objects only ever move
+// within their own class — so the visiting order cannot change the final
+// layout, and a sequence of bounded calls converges to exactly the state
+// one unbounded sweep produces.
+func (z *Zsmalloc) CompactPartial(budgetPages int) CompactResult {
+	var res CompactResult
+	start := 0
+	if budgetPages > 0 {
+		start = z.compactCursor
 	}
-	return reclaimed
+	for i := 0; i < zsNumClasses; i++ {
+		ci := (start + i) % zsNumClasses
+		if !z.compactClass(z.classes[ci], budgetPages, &res) {
+			z.compactCursor = ci
+			return res
+		}
+	}
+	return res
 }
 
-func (z *Zsmalloc) compactClass(c *zsClass) int {
-	reclaimed := 0
+// compactClass drains sparse zspages of c into fuller ones, accumulating
+// into res. It reports false when it stopped because res.PagesReclaimed
+// reached budgetPages (> 0) with donors still pending, true when the class
+// has no more reclaimable zspages.
+func (z *Zsmalloc) compactClass(c *zsClass, budgetPages int, res *CompactResult) bool {
 	for len(c.partial) >= 2 {
-		// Donor: the partial zspage with the fewest objects.
-		donorIdx := c.partial[0]
-		for _, zi := range c.partial {
-			if c.zspages[zi].used < c.zspages[donorIdx].used {
-				donorIdx = zi
-			}
+		if budgetPages > 0 && res.PagesReclaimed >= budgetPages {
+			return false
+		}
+		donorIdx := z.pickDonor(c)
+		if donorIdx < 0 {
+			return true // no donor's objects fit elsewhere
 		}
 		donor := c.zspages[donorIdx]
-		// Total free slots elsewhere must fit the donor's objects.
-		freeElsewhere := 0
-		for _, zi := range c.partial {
-			if zi != donorIdx {
-				freeElsewhere += len(c.zspages[zi].free)
-			}
-		}
-		if freeElsewhere < donor.used {
-			return reclaimed
-		}
 		// Move every donor object into some other partial zspage.
 		for slot := 0; slot < c.objsPer && donor.used > 0; slot++ {
 			if donor.sizes[slot] == 0 {
@@ -277,7 +315,7 @@ func (z *Zsmalloc) compactClass(c *zsClass) int {
 				}
 			}
 			if dstZi < 0 {
-				return reclaimed // should not happen; guarded above
+				return true // should not happen; pickDonor guarantees room
 			}
 			dst := c.zspages[dstZi]
 			dslot := dst.free[len(dst.free)-1]
@@ -288,10 +326,12 @@ func (z *Zsmalloc) compactClass(c *zsClass) int {
 			dst.used++
 			owner := donor.owner[slot]
 			dst.owner[dslot] = owner
-			z.locs[owner] = zsLoc{class: z.locs[owner].class, zspage: int32(dstZi), slot: int32(dslot)}
+			z.locs[owner] = zsLoc{class: z.locs[owner].class, zspage: int32(dstZi), slot: int32(dslot), gen: z.locs[owner].gen}
 			donor.sizes[slot] = 0
 			donor.owner[slot] = -1
 			donor.used--
+			res.ObjectsMoved++
+			res.BytesMoved += int64(size)
 			if len(dst.free) == 0 {
 				removeFromPartial(c, dstZi)
 			}
@@ -299,11 +339,40 @@ func (z *Zsmalloc) compactClass(c *zsClass) int {
 		// Donor drained: reclaim its pages.
 		donor.live = false
 		z.stats.PoolPages -= c.pagesPer
-		reclaimed += c.pagesPer
+		res.PagesReclaimed += c.pagesPer
 		removeFromPartial(c, donorIdx)
 		c.freeSlots = append(c.freeSlots, donorIdx)
 	}
-	return reclaimed
+	return true
+}
+
+// pickDonor returns the partial zspage whose objects should migrate out,
+// or -1 when no donor can be fully drained. Donors are tried in sparseness
+// order (fewest live objects first, partial-list order breaking ties, same
+// tie-break as the historical single-candidate scan): the sparsest zspage
+// that fits is the cheapest page reclaim, but a sparser donor failing to
+// fit must not abort the class while a denser one still fits — e.g. when
+// zspage geometry varies, the sparsest donor can hold many free slots that
+// vanish with it, while a fuller donor leaves those slots available as
+// destination space.
+func (z *Zsmalloc) pickDonor(c *zsClass) int {
+	totalFree := 0
+	for _, zi := range c.partial {
+		totalFree += len(c.zspages[zi].free)
+	}
+	cand := append(z.donorScratch[:0], c.partial...)
+	sort.SliceStable(cand, func(i, j int) bool {
+		return c.zspages[cand[i]].used < c.zspages[cand[j]].used
+	})
+	z.donorScratch = cand[:0]
+	for _, zi := range cand {
+		donor := c.zspages[zi]
+		// Free slots elsewhere must fit all of the donor's objects.
+		if totalFree-len(donor.free) >= donor.used {
+			return zi
+		}
+	}
+	return -1
 }
 
 // Stats implements Pool.

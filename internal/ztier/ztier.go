@@ -463,21 +463,79 @@ func (t *Tier) Free(h Handle) error {
 	return t.pool.Free(h.pool)
 }
 
-// Compact runs the pool's compactor (zsmalloc's zs_compact) and returns
-// the pool pages reclaimed plus the modeled cost of the object moves.
+// Compact runs the pool's compactor (zsmalloc's zs_compact) to completion
+// and returns the pool pages reclaimed plus the modeled cost of the object
+// moves. Equivalent to CompactPartial(0).
 func (t *Tier) Compact() (int, float64) {
-	t.mu.Lock()
-	reclaimed := t.pool.Compact()
-	t.mu.Unlock()
-	if reclaimed == 0 {
-		return 0, 0
+	r, ns := t.CompactPartial(0)
+	return r.PagesReclaimed, ns
+}
+
+// compactSlicePages is how many pool pages a single lock hold may reclaim
+// during compaction. Slicing the sweep keeps fault-path readers from
+// stalling behind a whole-pool compaction pass.
+const compactSlicePages = 32
+
+// CompactPartial compacts the tier's pool until at least budgetPages pool
+// pages have been reclaimed or no more can be (budgetPages <= 0 =
+// unbounded), releasing the tier lock between slices of at most
+// compactSlicePages reclaimed pages so concurrent faults interleave. It
+// returns what the pool actually did plus the modeled cost of the moves.
+//
+// The pool's resume cursor makes sliced passes equivalent to one
+// uninterrupted sweep when nothing else touches the pool in between (the
+// daemon's window loop runs compaction single-threaded), so a nil-budget
+// sweep reclaims exactly what the historical whole-pool pass did.
+func (t *Tier) CompactPartial(budgetPages int) (zpool.CompactResult, float64) {
+	var total zpool.CompactResult
+	remaining := budgetPages
+	for {
+		slice := compactSlicePages
+		if budgetPages > 0 && remaining < slice {
+			slice = remaining
+		}
+		t.mu.Lock()
+		r := t.pool.CompactPartial(slice)
+		t.mu.Unlock()
+		total.Add(r)
+		if r.PagesReclaimed == 0 {
+			break
+		}
+		if budgetPages > 0 {
+			remaining -= r.PagesReclaimed
+			if remaining <= 0 {
+				break
+			}
+		}
 	}
-	// Each reclaimed pool page implies roughly a page's worth of objects
-	// copied within the pool: one lookup + one store plus the media
-	// read/write of the bytes.
-	per := PoolLookupNs(t.cfg.Pool) + PoolStoreNs(t.cfg.Pool) +
-		media.ReadCostNs(t.cfg.Media, PageSize) + media.WriteCostNs(t.cfg.Media, PageSize)
-	return reclaimed, float64(reclaimed) * per
+	return total, t.compactCostNs(total)
+}
+
+// compactCostNs models what the compaction pass cost: every relocated
+// object pays one pool lookup and one pool store plus the media's
+// per-access latencies, and the stream of compressed bytes pays the
+// media's read+write bandwidth cost. This charges the work actually done —
+// the historical formula guessed reclaimed × full-page read/write, which
+// overcharges dense pools (whose donors hold few live objects) and
+// ignores how compressed the moved objects were.
+func (t *Tier) compactCostNs(r zpool.CompactResult) float64 {
+	if r.ObjectsMoved == 0 {
+		return 0
+	}
+	p := media.Props(t.cfg.Media)
+	perObject := PoolLookupNs(t.cfg.Pool) + PoolStoreNs(t.cfg.Pool) + 2*p.LoadNs
+	stream := (p.ReadNsPerKB + p.WriteNsPerKB) * float64(r.BytesMoved) / 1024
+	return float64(r.ObjectsMoved)*perObject + stream
+}
+
+// Churn returns the pool's lifetime store+free count — the monotonic
+// counter the budgeted compactor uses to detect tiers that have not
+// changed since their last completed pass.
+func (t *Tier) Churn() int64 {
+	t.mu.RLock()
+	ps := t.pool.Stats()
+	t.mu.RUnlock()
+	return ps.Stores + ps.Frees
 }
 
 // Stats returns the tier's counters. Pages includes live same-filled

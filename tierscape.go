@@ -246,6 +246,13 @@ type RunConfig struct {
 	// engine commits migrations in deterministic order — so the knob only
 	// changes wall-clock speed.
 	PushThreads int
+	// CompactBudget bounds each window's zs_compact pass to roughly this
+	// many reclaimed pool pages across the compressed tiers; the
+	// remainder carries over to later windows via resume cursors.
+	// 0 = unbounded (compact every tier to completion each window).
+	// Unlike PushThreads this changes modeled results: a bounded budget
+	// defers reclamation.
+	CompactBudget int
 	// PrefetchFaultThreshold enables the §3.2 prefetcher: a region hit by
 	// this many compressed-tier faults in one window is promoted in bulk
 	// by the daemon. 0 disables it.
@@ -287,6 +294,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	if cfg.PushThreads > 0 {
 		scfg.PushThreads = sim.Int(cfg.PushThreads)
+	}
+	if cfg.CompactBudget > 0 {
+		scfg.CompactBudget = sim.Int(cfg.CompactBudget)
 	}
 	if cfg.SampleRate > 0 {
 		scfg.SampleRate = sim.Int(cfg.SampleRate)
