@@ -51,7 +51,34 @@ func main() {
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
 	events := flag.String("events", "", "write the run's deterministic JSONL event stream to this file")
 	showTrace := flag.Bool("trace", false, "print the per-window span trace (phase wall times, prepare/commit split, scheduler stalls)")
+	daemonMode := flag.Bool("daemon", false, "run as a resident tiering daemon: workloads attach/detach at runtime via POST /command on -metrics-addr (required); other flags become attach-spec defaults")
+	daemonConfigPath := flag.String("daemon-config", "", "daemon config JSON file ({\"tick_every\":\"1s\",\"max_workloads\":8}); re-read by the reload command")
+	tick := flag.Duration("tick", 0, "daemon tick period override: one profile window per attached workload per tick")
 	flag.Parse()
+
+	if *daemonMode {
+		os.Exit(runDaemonMode(daemonOpts{
+			configPath:  *daemonConfigPath,
+			tick:        *tick,
+			metricsAddr: *metricsAddr,
+			defaults: specDefaults{
+				Workload:      *workloadName,
+				Model:         *modelName,
+				Alpha:         *alpha,
+				Pct:           *pct,
+				Tiers:         *tiers,
+				Pages:         *pages,
+				Seed:          *seed,
+				Ops:           *ops,
+				Push:          *push,
+				Prefetch:      *prefetch,
+				CompactBudget: *compactBudget,
+				WarmSolver:    *warmSolver,
+				WarmEps:       *warmEps,
+				WarmFull:      *warmFull,
+			},
+		}))
+	}
 
 	var wl tierscape.Workload
 	var recorder *trace.Recorder
@@ -142,53 +169,18 @@ func main() {
 	}
 	cfg.Recorder = tierscape.TeeRecorders(recs...)
 	var slowTiers map[string]tierscape.TierID
-	switch *tiers {
-	case "standard":
-		cfg.Tiers = tierscape.StandardMix()
-		cfg.ByteTiers = []tierscape.MediaKind{tierscape.NVMM}
-		slowTiers = map[string]tierscape.TierID{
-			"hemem": tierscape.StdNVMM, "gswap": tierscape.StdCT1, "tmo": tierscape.StdCT2,
-		}
-	case "spectrum":
-		cfg.Tiers = tierscape.Spectrum()
-		slowTiers = map[string]tierscape.TierID{
-			"hemem": 1, "gswap": 4, "tmo": 5, // C7 is GSwap's tier, C12 TMO-like
-		}
-	default:
-		// Treat as a JSON tier-config file: the artifact's config-file
-		// analogue. Format: {"byteTiers":["NVMM"], "compressedTiers":
-		// [{"codec":"lzo","pool":"zsmalloc","media":"DRAM"}, ...]}.
-		tcs, bts, err := loadTierFile(*tiers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tier setup %q: %v\n", *tiers, err)
-			os.Exit(2)
-		}
-		cfg.Tiers = tcs
-		cfg.ByteTiers = bts
-		// Baselines target the last tiers by convention.
-		n := tierscape.TierID(len(bts) + len(tcs))
-		slowTiers = map[string]tierscape.TierID{"hemem": 1, "gswap": n, "tmo": n}
+	var err error
+	cfg.Tiers, cfg.ByteTiers, slowTiers, err = resolveTiers(*tiers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tier setup %q: %v\n", *tiers, err)
+		os.Exit(2)
 	}
-
-	switch *modelName {
-	case "baseline":
-		cfg.Model = nil
-	case "am":
-		if *warmSolver {
-			cfg.Model = tierscape.AMWarm(*alpha, *warmEps, *warmFull)
-		} else {
-			cfg.Model = tierscape.AM(*alpha)
-		}
-	case "waterfall":
-		cfg.Model = tierscape.WaterfallModel(*pct)
-	case "hemem":
-		cfg.Model = tierscape.HeMemBaseline(slowTiers["hemem"], *pct)
-	case "gswap":
-		cfg.Model = tierscape.GSwapBaseline(slowTiers["gswap"], *pct)
-	case "tmo":
-		cfg.Model = tierscape.TMOBaseline(slowTiers["tmo"], *pct)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+	cfg.Model, err = resolveModel(modelSpec{
+		Model: *modelName, Alpha: *alpha, Pct: *pct,
+		WarmSolver: *warmSolver, WarmEps: *warmEps, WarmFull: *warmFull,
+	}, slowTiers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -248,6 +240,69 @@ func printTrace(m *tierscape.MetricsRecorder) {
 			rt.PrepareWallNs/1e3, rt.CommitWallNs/1e3,
 			rt.Sched.Jobs, rt.Sched.Wakeups, rt.Sched.BlockedAwaits,
 			float64(rt.Sched.StallNs)/1e3)
+	}
+}
+
+// resolveTiers maps a -tiers value (standard, spectrum, or a JSON tier
+// file) to the tier lineup plus each baseline model's slow-tier target.
+// Shared by the batch path and the daemon's attach-spec builder.
+func resolveTiers(name string) ([]tierscape.TierConfig, []tierscape.MediaKind, map[string]tierscape.TierID, error) {
+	switch name {
+	case "standard":
+		return tierscape.StandardMix(), []tierscape.MediaKind{tierscape.NVMM},
+			map[string]tierscape.TierID{
+				"hemem": tierscape.StdNVMM, "gswap": tierscape.StdCT1, "tmo": tierscape.StdCT2,
+			}, nil
+	case "spectrum":
+		return tierscape.Spectrum(), nil,
+			map[string]tierscape.TierID{
+				"hemem": 1, "gswap": 4, "tmo": 5, // C7 is GSwap's tier, C12 TMO-like
+			}, nil
+	default:
+		// Treat as a JSON tier-config file: the artifact's config-file
+		// analogue. Format: {"byteTiers":["NVMM"], "compressedTiers":
+		// [{"codec":"lzo","pool":"zsmalloc","media":"DRAM"}, ...]}.
+		tcs, bts, err := loadTierFile(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Baselines target the last tiers by convention.
+		n := tierscape.TierID(len(bts) + len(tcs))
+		return tcs, bts, map[string]tierscape.TierID{"hemem": 1, "gswap": n, "tmo": n}, nil
+	}
+}
+
+// modelSpec bundles the model-selection knobs (flag values or attach-spec
+// fields) for resolveModel.
+type modelSpec struct {
+	Model      string
+	Alpha, Pct float64
+	WarmSolver bool
+	WarmEps    float64
+	WarmFull   int
+}
+
+// resolveModel builds the placement model for a spec; nil means the
+// all-DRAM baseline.
+func resolveModel(s modelSpec, slowTiers map[string]tierscape.TierID) (tierscape.Model, error) {
+	switch s.Model {
+	case "baseline":
+		return nil, nil
+	case "am":
+		if s.WarmSolver {
+			return tierscape.AMWarm(s.Alpha, s.WarmEps, s.WarmFull), nil
+		}
+		return tierscape.AM(s.Alpha), nil
+	case "waterfall":
+		return tierscape.WaterfallModel(s.Pct), nil
+	case "hemem":
+		return tierscape.HeMemBaseline(slowTiers["hemem"], s.Pct), nil
+	case "gswap":
+		return tierscape.GSwapBaseline(slowTiers["gswap"], s.Pct), nil
+	case "tmo":
+		return tierscape.TMOBaseline(slowTiers["tmo"], s.Pct), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", s.Model)
 	}
 }
 

@@ -1,0 +1,160 @@
+// Race stress for the resident daemon: many goroutines hammer the full
+// command vocabulary while the clock ticks, under -race in CI (the
+// Concurrent|Daemon suite). The daemon's concurrency story is "one loop
+// goroutine owns everything"; this test is the adversarial check that no
+// state leaks around that loop.
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tierscape/internal/obs"
+)
+
+// TestConcurrentDaemonCommandStress mixes attach/detach churn, α
+// changes, forced compactions, reloads, status polls and barriers from
+// competing goroutines against a continuously ticking daemon. Skipped
+// with -short (it runs thousands of commands).
+func TestConcurrentDaemonCommandStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	live := obs.NewLive()
+	d, clk := newTestDaemon(t, Config{TickEvery: time.Second, MaxWorkloads: 16}, live)
+
+	// Two long-lived workloads tick throughout; the churners attach and
+	// detach their own on top.
+	if err := d.Attach("pinned-0", testSimConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach("pinned-1", baselineSimConfig(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		ticks    = 30
+		churners = 4
+		rounds   = 8
+	)
+	var wg sync.WaitGroup
+
+	// Ticker goroutine: the fake clock serializes onto the loop like the
+	// wall clock would, while commands race it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		clk.StepN(ticks)
+	}()
+
+	// Churners: attach → exercise every command → detach, repeatedly.
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%d", c)
+			for r := 0; r < rounds; r++ {
+				if err := d.Attach(name, testSimConfig(t)); err != nil {
+					t.Errorf("%s round %d attach: %v", name, r, err)
+					return
+				}
+				if err := d.SetAlpha(name, float64(r)/rounds); err != nil {
+					t.Errorf("%s round %d set-alpha: %v", name, r, err)
+				}
+				if _, err := d.ForceCompact(name); err != nil {
+					t.Errorf("%s round %d force-compact: %v", name, r, err)
+				}
+				if err := d.Barrier(); err != nil {
+					t.Errorf("%s round %d barrier: %v", name, r, err)
+				}
+				if _, err := d.Detach(name); err != nil {
+					t.Errorf("%s round %d detach: %v", name, r, err)
+				}
+				// Racing detach/set-alpha on a name this goroutine just
+				// removed must fail cleanly, not corrupt.
+				if _, err := d.Detach(name); err == nil {
+					t.Errorf("%s round %d: double detach succeeded", name, r)
+				}
+			}
+		}(c)
+	}
+
+	// Reloader: flips the config back and forth; every intermediate
+	// state is valid, so no command above can observe a broken limit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			cfg := Config{TickEvery: time.Second, MaxWorkloads: 16}
+			if r%2 == 1 {
+				cfg.TickEvery = 2 * time.Second
+			}
+			if err := d.Reload(cfg); err != nil {
+				t.Errorf("reload round %d: %v", r, err)
+			}
+			// Invalid reloads must bounce without disturbing anything.
+			if err := d.Reload(Config{}); err == nil {
+				t.Error("invalid reload accepted")
+			}
+		}
+	}()
+
+	// Status poller: read-only snapshots interleaved with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*4; r++ {
+			s, err := d.Status()
+			if err != nil {
+				t.Errorf("status: %v", err)
+				return
+			}
+			if len(s.Workloads) < 2 || len(s.Workloads) > 2+churners {
+				t.Errorf("status saw %d workloads", len(s.Workloads))
+			}
+		}
+	}()
+
+	wg.Wait()
+	if err := d.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-race invariants: the pinned workloads saw every tick, the
+	// churners are all gone, the gauges add up.
+	s, err := d.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ticks != ticks {
+		t.Fatalf("daemon counted %d ticks, want %d", s.Ticks, ticks)
+	}
+	if len(s.Workloads) != 2 {
+		t.Fatalf("churners left residue: %+v", s.Workloads)
+	}
+	for _, w := range s.Workloads {
+		if w.Windows != ticks {
+			t.Fatalf("pinned workload %s ran %d windows, want %d", w.Name, w.Windows, ticks)
+		}
+		if w.Err != "" {
+			t.Fatalf("pinned workload %s errored: %s", w.Name, w.Err)
+		}
+	}
+	vars := live.Vars().(map[string]any)
+	if got := vars["daemon_ticks"].(int64); got != ticks {
+		t.Fatalf("live daemon_ticks = %d, want %d", got, ticks)
+	}
+	if got := vars["daemon_attached_workloads"].(int64); got != 2 {
+		t.Fatalf("live daemon_attached_workloads = %d, want 2", got)
+	}
+	cmds := vars["daemon_commands"].(map[string]map[string]int64)
+	wantAttach := int64(2 + churners*rounds)
+	if cmds["attach"]["ok"] != wantAttach {
+		t.Fatalf("attach ok = %d, want %d", cmds["attach"]["ok"], wantAttach)
+	}
+	if cmds["detach"]["ok"] != int64(churners*rounds) || cmds["detach"]["error"] != int64(churners*rounds) {
+		t.Fatalf("detach counts: %+v", cmds["detach"])
+	}
+}

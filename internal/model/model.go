@@ -255,6 +255,21 @@ func (a *Analytical) regionRatio(m *mem.Manager, r mem.RegionID, codec string) (
 // local-vs-remote comparison; the paper finds the difference negligible).
 const RemoteRTTNs = 200_000
 
+// SetAlpha retunes the TCO/performance knob between windows — the
+// resident daemon's runtime α command. Safe with warm start: α enters the
+// solve only through the TCO budget (Eq. 10 via tco.Budget), never the
+// per-class option pricing, and the warm solver re-walks the greedy
+// frontier against the fresh budget every solve, so cached hulls stay
+// valid across α changes. Not safe concurrently with Recommend — call it
+// from the thread driving the control loop.
+func (a *Analytical) SetAlpha(alpha float64) error {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return fmt.Errorf("model: alpha must be in [0,1], got %v", alpha)
+	}
+	a.Alpha = alpha
+	return nil
+}
+
 // Name implements Model.
 func (a *Analytical) Name() string {
 	if a.ModelName != "" {

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// goldenLive builds a Live fed with fixed, fully-populated events — two
+// window snapshots (warm fields, migration flows, compaction counters),
+// one runtime trace, and the daemon surface — so the rendered exposition
+// exercises every series the hand-rolled format emits.
+func goldenLive() *Live {
+	l := NewLive()
+	l.RecordWindow(WindowSnapshot{
+		Window: 1, AppNs: 1.5e9, DaemonNs: 2.5e8, SolverNs: 1e8,
+		MigrateNs: 1.2e8, CompactNs: 2e7, ProfileNs: 5e6, PrefetchNs: 5e6,
+		TCO: 0.75,
+		TierPages: []int64{700, 100, 150, 74}, TierBytes: []int64{2867200, 409600, 204800, 102400},
+		TierRatio: []float64{0, 0, 0.42, 0.31}, TierFrag: []float64{0, 0, 0.125, 0.0625},
+		RecommendedPages: []int64{512, 256, 128, 128},
+		Migrations: []TierFlow{
+			{From: 0, To: 2, Pages: 100, Rejected: 4},
+			{From: 2, To: 0, Pages: 50, Rejected: 0},
+		},
+		Faults: 12, Moves: 150, Rejected: 4, Skipped: 9, TierFullMoves: 1,
+		CompactedPages: 3, CompactObjectsMoved: 17, CompactSkippedTiers: 1,
+		DroppedPressure: 2, DroppedCapacity: 1, DroppedBudget: 3,
+	})
+	l.RecordWindow(WindowSnapshot{
+		Window: 2, AppNs: 1.25e9, DaemonNs: 1.5e8, SolverNs: 5e7,
+		MigrateNs: 9e7, CompactNs: 5e6, ProfileNs: 2.5e6, PrefetchNs: 2.5e6,
+		TCO: 0.5,
+		TierPages: []int64{600, 120, 200, 104}, TierBytes: []int64{2457600, 491520, 245760, 131072},
+		TierRatio: []float64{0, 0, 0.4, 0.3}, TierFrag: []float64{0, 0, 0.25, 0.125},
+		Migrations: []TierFlow{{From: 0, To: 3, Pages: 64, Rejected: 2}},
+		Faults:     30, Moves: 64, Rejected: 2, Skipped: 1,
+		WarmHit:    true, ClassesReused: 14, ClassesRebuilt: 2,
+		SolverRebuildNs: 1e7, SolverRepairNs: 4e7, SolverFallbacks: 1,
+	})
+	l.RecordRuntime(WindowRuntime{
+		Window:      2,
+		PhaseWallNs: [NumPhases]float64{1e6, 2e6, 5e5, 4e6, 1.5e6},
+		PrepareWallNs: 3e6, CommitWallNs: 1e6,
+		Sched: SchedulerStats{Jobs: 8, Wakeups: 8, BlockedAwaits: 2, StallNs: 250000},
+	})
+	// Daemon surface.
+	l.SetDaemonAttached(2)
+	for i := 0; i < 3; i++ {
+		l.AddDaemonTick()
+	}
+	l.AddDaemonCommand("attach", true)
+	l.AddDaemonCommand("attach", true)
+	l.AddDaemonCommand("detach", false)
+	l.AddDaemonCommand("set-alpha", true)
+	return l
+}
+
+// TestPrometheusGolden pins the Prometheus text exposition byte-for-byte
+// against testdata/prometheus.golden: the format is hand-rolled (no
+// client library), so this is the guard that keeps series names, label
+// ordering and help strings from silently drifting under scrapers' feet.
+// Regenerate deliberately with: go test ./internal/obs -run Golden -update
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenLive().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus exposition drifted from %s.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+	// The golden snapshot is also the fixture for the series the CI
+	// smoke greps; assert they are present by name so a rename cannot
+	// hide behind a -update regeneration.
+	for _, series := range []string{
+		"\ntierscape_windows_total ",
+		"\ntierscape_daemon_ticks_total ",
+		"\ntierscape_daemon_attached_workloads ",
+		"tierscape_daemon_commands_total{op=\"attach\",outcome=\"ok\"} 2",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(series)) {
+			t.Errorf("exposition lost series %q", series)
+		}
+	}
+}

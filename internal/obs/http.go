@@ -58,6 +58,20 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("sched_blocked_awaits_total", "Commits whose worker blocked waiting for a predecessor.", s.blocked)
 	counter("sched_stall_seconds_total", "Wall time workers spent blocked in commit await.", float64(s.stallNs)/1e9)
 
+	// Daemon surface: always emitted (zero outside daemon mode) so
+	// scrapers and the CI smoke can rely on the series existing.
+	counter("daemon_ticks_total", "Resident daemon ticks completed (one control-loop pass over every attached workload).", s.daemonTicks)
+	p("# HELP tierscape_daemon_attached_workloads Workloads currently attached to the resident daemon.\n")
+	p("# TYPE tierscape_daemon_attached_workloads gauge\ntierscape_daemon_attached_workloads %d\n", s.daemonAttached)
+	if len(s.daemonCommands) > 0 {
+		p("# HELP tierscape_daemon_commands_total Daemon runtime commands completed, by op and outcome.\n")
+		p("# TYPE tierscape_daemon_commands_total counter\n")
+		for _, c := range s.daemonCommands {
+			p("tierscape_daemon_commands_total{op=%q,outcome=\"ok\"} %d\n", c.Op, c.OK)
+			p("tierscape_daemon_commands_total{op=%q,outcome=\"error\"} %d\n", c.Op, c.Err)
+		}
+	}
+
 	if len(s.flows) > 0 {
 		p("# HELP tierscape_migrated_pages_total Pages migrated by source and destination tier.\n")
 		p("# TYPE tierscape_migrated_pages_total counter\n")

@@ -30,6 +30,14 @@ type Live struct {
 	wakeups, blocked    int64
 	stallNs             int64
 
+	// Daemon surface: the resident controller's tick counter, attached-
+	// workload gauge and per-command outcome counters. Zero outside
+	// daemon mode (batch runs never call the AddDaemon*/SetDaemon*
+	// methods).
+	daemonTicks    int64
+	daemonAttached int64
+	daemonCommands map[string]*commandOutcomes
+
 	// Gauges: the last window snapshot recorded (any run).
 	last    WindowSnapshot
 	hasLast bool
@@ -38,9 +46,49 @@ type Live struct {
 	flows map[[2]int]*TierFlow
 }
 
+// commandOutcomes counts one daemon command op's ok/error completions.
+type commandOutcomes struct {
+	OK, Err int64
+}
+
 // NewLive returns an empty aggregator.
 func NewLive() *Live {
-	return &Live{flows: make(map[[2]int]*TierFlow)}
+	return &Live{
+		flows:          make(map[[2]int]*TierFlow),
+		daemonCommands: make(map[string]*commandOutcomes),
+	}
+}
+
+// AddDaemonTick counts one completed daemon tick (one control-loop pass
+// over every attached workload).
+func (l *Live) AddDaemonTick() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.daemonTicks++
+}
+
+// SetDaemonAttached sets the attached-workloads gauge.
+func (l *Live) SetDaemonAttached(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.daemonAttached = int64(n)
+}
+
+// AddDaemonCommand counts one completed daemon command of the given op,
+// by outcome.
+func (l *Live) AddDaemonCommand(op string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.daemonCommands[op]
+	if c == nil {
+		c = &commandOutcomes{}
+		l.daemonCommands[op] = c
+	}
+	if ok {
+		c.OK++
+	} else {
+		c.Err++
+	}
 }
 
 // RecordWindow implements Recorder.
@@ -112,9 +160,18 @@ type liveSnapshot struct {
 	phaseNs                                          [NumPhases]float64
 	prepareNs, commitNs                              float64
 	wakeups, blocked, stallNs                        int64
+	daemonTicks, daemonAttached                      int64
+	daemonCommands                                   []commandCount
 	last                                             WindowSnapshot
 	hasLast                                          bool
 	flows                                            []TierFlow
+}
+
+// commandCount is one daemon command op's outcome counters, in the
+// op-sorted order the exposition formats render.
+type commandCount struct {
+	Op      string
+	OK, Err int64
 }
 
 func (l *Live) snapshot() liveSnapshot {
@@ -134,8 +191,15 @@ func (l *Live) snapshot() liveSnapshot {
 		phaseNs:   l.phaseNs,
 		prepareNs: l.prepareNs, commitNs: l.commitNs,
 		wakeups: l.wakeups, blocked: l.blocked, stallNs: l.stallNs,
+		daemonTicks: l.daemonTicks, daemonAttached: l.daemonAttached,
 		last: l.last, hasLast: l.hasLast,
 	}
+	for op, c := range l.daemonCommands {
+		s.daemonCommands = append(s.daemonCommands, commandCount{Op: op, OK: c.OK, Err: c.Err})
+	}
+	sort.Slice(s.daemonCommands, func(a, b int) bool {
+		return s.daemonCommands[a].Op < s.daemonCommands[b].Op
+	})
 	for _, f := range l.flows {
 		s.flows = append(s.flows, *f)
 	}
@@ -182,6 +246,15 @@ func (l *Live) Vars() any {
 		"sched_blocked":         s.blocked,
 		"sched_stall_ns":        s.stallNs,
 		"migrations":            s.flows,
+	}
+	v["daemon_ticks"] = s.daemonTicks
+	v["daemon_attached_workloads"] = s.daemonAttached
+	if len(s.daemonCommands) > 0 {
+		cmds := make(map[string]map[string]int64, len(s.daemonCommands))
+		for _, c := range s.daemonCommands {
+			cmds[c.Op] = map[string]int64{"ok": c.OK, "error": c.Err}
+		}
+		v["daemon_commands"] = cmds
 	}
 	if s.hasLast {
 		v["last_window"] = s.last

@@ -43,8 +43,6 @@ import (
 	"tierscape/internal/obs"
 	"tierscape/internal/policy"
 	"tierscape/internal/stats"
-	"tierscape/internal/tco"
-	"tierscape/internal/telemetry"
 	"tierscape/internal/workload"
 )
 
@@ -211,7 +209,11 @@ func (r *Result) TotalRejected() int {
 	return sum
 }
 
-// Run executes the simulation.
+// Run executes the simulation: Windows steps of the control loop, then
+// the finalized Result. The loop body lives in Stepper (step.go), shared
+// with the resident daemon; Run is exactly NewStepper + Windows × Step +
+// Result, which is what makes daemon-driven and batch runs byte-identical
+// on the same configuration.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Manager == nil || cfg.Workload == nil {
 		return nil, errors.New("sim: Manager and Workload are required")
@@ -220,241 +222,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: OpsPerWindow (%d) and Windows (%d) must be positive",
 			cfg.OpsPerWindow, cfg.Windows)
 	}
-	if cfg.Workload.NumPages() > cfg.Manager.NumPages() {
-		return nil, fmt.Errorf("sim: workload needs %d pages but manager has %d",
-			cfg.Workload.NumPages(), cfg.Manager.NumPages())
-	}
-	interference := 0.02
-	if cfg.Interference != nil {
-		if *cfg.Interference < 0 {
-			return nil, fmt.Errorf("sim: Interference must be >= 0, got %v", *cfg.Interference)
-		}
-		interference = *cfg.Interference
-	}
-	sampleRate := 0 // 0 lets the profiler pick its default
-	if cfg.SampleRate != nil {
-		if *cfg.SampleRate < 1 {
-			return nil, fmt.Errorf("sim: SampleRate must be >= 1, got %d", *cfg.SampleRate)
-		}
-		sampleRate = *cfg.SampleRate
-	}
-	pushThreads := 2
-	if cfg.PushThreads != nil {
-		if *cfg.PushThreads < 1 {
-			return nil, fmt.Errorf("sim: PushThreads must be >= 1, got %d", *cfg.PushThreads)
-		}
-		pushThreads = *cfg.PushThreads
-	}
-	compactBudget := 0 // unbounded
-	if cfg.CompactBudget != nil {
-		if *cfg.CompactBudget < 1 {
-			return nil, fmt.Errorf("sim: CompactBudget must be >= 1, got %d", *cfg.CompactBudget)
-		}
-		compactBudget = *cfg.CompactBudget
-	}
-
-	var prof telemetry.Recorder
-	var err error
-	if cfg.AccessBitTelemetry {
-		prof, err = telemetry.NewABitScanner(cfg.Manager.NumPages(), cfg.Manager.NumRegions(), cfg.Cooling)
-	} else {
-		prof, err = telemetry.NewProfiler(telemetry.Config{
-			NumRegions: cfg.Manager.NumRegions(),
-			SampleRate: sampleRate,
-			Cooling:    cfg.Cooling,
-		})
-	}
+	s, err := NewStepper(cfg)
 	if err != nil {
 		return nil, err
 	}
-	fcfg := policy.DefaultConfig()
-	if cfg.FilterConfig != nil {
-		fcfg = *cfg.FilterConfig
-	}
-	filter := policy.NewFilter(fcfg)
-
-	res := &Result{
-		WorkloadName: cfg.Workload.Name(),
-		ModelName:    "baseline",
-		OpLat:        stats.NewSummary(),
-		TCOMax:       tco.Max(cfg.Manager),
-	}
-	if cfg.Model != nil {
-		res.ModelName = cfg.Model.Name()
-	}
-
-	m := cfg.Manager
-	wl := cfg.Workload
-	recd := cfg.Recorder
-	var buf []workload.Access
-	var weightedTCO, totalAppNs float64
-	lastProfOverhead := 0.0
-
-	regionFaults := make(map[mem.RegionID]int)
 	for w := 0; w < cfg.Windows; w++ {
-		var appNs float64
-		var prefetchNs float64
-		clear(regionFaults)
-		for op := 0; op < cfg.OpsPerWindow; op++ {
-			buf = wl.NextOp(buf[:0])
-			opNs := wl.BaseOpNs()
-			for _, a := range buf {
-				prof.Record(a.Page)
-				ar, err := m.Access(a.Page, a.Write)
-				if err != nil {
-					return nil, fmt.Errorf("sim: window %d op %d: %w", w, op, err)
-				}
-				opNs += ar.LatencyNs
-				if ar.Fault && cfg.PrefetchFaultThreshold > 0 {
-					r := a.Page.Region()
-					regionFaults[r]++
-					if regionFaults[r] == cfg.PrefetchFaultThreshold {
-						// Prefetch: the daemon decompresses the rest of the
-						// region ahead of the application's accesses.
-						mr, err := migrateRegion(m, r, mem.DRAMTier)
-						if err != nil {
-							return nil, fmt.Errorf("sim: prefetch window %d: %w", w, err)
-						}
-						prefetchNs += mr.LatencyNs
-						res.Prefetches++
-					}
-				}
-			}
-			res.OpLat.Add(opNs)
-			appNs += opNs
-		}
-		res.Ops += int64(cfg.OpsPerWindow)
-
-		// The span trace clocks each control-loop phase only when a
-		// recorder is present; wall time is never read otherwise and never
-		// feeds back into modeled results either way.
-		var rt obs.WindowRuntime
-		var wall time.Time
-		if recd != nil {
-			rt.Window = w + 1
-			wall = time.Now()
-		}
-		profile := prof.EndWindow()
-		if recd != nil {
-			rt.PhaseWallNs[obs.PhaseProfile] = wallSince(&wall)
-		}
-		rec := WindowRecord{Window: w + 1}
-		var tr *applyTrace
-
-		if cfg.Model != nil {
-			r := cfg.Model.Recommend(m, profile)
-			if recd != nil {
-				rt.PhaseWallNs[obs.PhaseSolve] = wallSince(&wall)
-			}
-			plan := filter.Apply(m, r, profile)
-			if recd != nil {
-				rt.PhaseWallNs[obs.PhasePlan] = wallSince(&wall)
-				tr = newApplyTrace(w+1, pushThreads)
-			}
-			// Real push threads: pushThreads goroutines apply the plan
-			// concurrently; the deterministic in-order commit (apply.go)
-			// merges per-move accounting by job index, so the sums below
-			// are identical at every thread count.
-			applied, err := applyMoves(m, plan.Moves, pushThreads, tr)
-			if err != nil {
-				return nil, fmt.Errorf("sim: window %d migration: %w", w, err)
-			}
-			if recd != nil {
-				rt.PhaseWallNs[obs.PhaseApply] = wallSince(&wall)
-			}
-			var migNs float64
-			for _, mr := range applied {
-				migNs += mr.LatencyNs
-				rec.Moves += mr.Moved
-				rec.Rejected += mr.Rejected
-				rec.Skipped += mr.Skipped
-				if mr.Full {
-					rec.TierFullMoves++
-				}
-			}
-			rec.MigrateNs = migNs
-			rec.Migrations = migrationFlows(plan.Moves, applied)
-			rec.DroppedPressure = plan.DroppedPressure
-			rec.DroppedCapacity = plan.DroppedCapacity
-			rec.DroppedBudget = plan.DroppedBudget
-			// Post-migration pool compaction (zs_compact): churned tiers
-			// return empty zspages, up to the configured per-window budget.
-			compacted := m.CompactBudgeted(compactBudget)
-			if recd != nil {
-				rt.PhaseWallNs[obs.PhaseCompact] = wallSince(&wall)
-			}
-			rec.CompactedPages = compacted.PagesReclaimed
-			rec.CompactObjectsMoved = compacted.ObjectsMoved
-			rec.CompactSkippedTiers = compacted.SkippedTiers
-			rec.CompactNs = compacted.CostNs
-			migNs += compacted.CostNs
-
-			profDelta := prof.OverheadNs() - lastProfOverhead
-			lastProfOverhead = prof.OverheadNs()
-			rec.SolverNs = r.SolverNs
-			rec.WarmHit = r.Solve.WarmHit
-			rec.ClassesReused = r.Solve.ClassesReused
-			rec.ClassesRebuilt = r.Solve.ClassesRebuilt
-			rec.SolverRebuildNs = r.Solve.RebuildNs
-			rec.SolverRepairNs = r.Solve.RepairNs
-			rec.SolverFallbacks = r.Solve.Fallbacks
-			rec.ProfileNs = profDelta
-			rec.PrefetchNs = prefetchNs
-			rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs
-			// Interference charges the measured apply work: cache and
-			// bandwidth contention scale with the bytes the push threads
-			// move, not with how many threads move them, so the charge is
-			// push-thread-invariant (part of the determinism contract).
-			elapsed := r.SolverNs + profDelta + migNs + prefetchNs
-			appNs += elapsed * interference
-			rec.RecommendedPages = recommendedPages(m, r)
-		} else {
-			// Baseline still pays the (tiny) profiling tax if one imagines
-			// telemetry running; the paper's baseline has none, so charge 0.
-			lastProfOverhead = prof.OverheadNs()
-			rec.PrefetchNs = prefetchNs
-			rec.DaemonNs = prefetchNs
-			appNs += prefetchNs * interference
-		}
-
-		rec.AppNs = appNs
-		rec.TCO = tco.Current(m)
-		tt := m.TierTelemetry()
-		rec.TierPages = tt.Pages
-		rec.TierBytes = tt.Bytes
-		rec.TierRatio = tt.Ratio
-		rec.TierFrag = tt.Frag
-		rec.Faults = m.Counters().Faults
-		res.Windows = append(res.Windows, rec)
-
-		res.AppNs += appNs
-		res.DaemonNs += rec.DaemonNs
-		weightedTCO += rec.TCO * appNs
-		totalAppNs += appNs
-
-		if recd != nil {
-			if tr != nil {
-				// Per-worker shards merge to the canonical job-ascending
-				// event order (see obs.Shards), so the stream is identical
-				// at every PushThreads.
-				for _, ev := range tr.shards.Merge() {
-					recd.RecordMove(ev)
-				}
-				rt.PrepareWallNs = float64(tr.prepareNs.Load())
-				rt.CommitWallNs = float64(tr.commitNs.Load())
-				rt.Sched = tr.sched
-			}
-			recd.RecordWindow(rec)
-			recd.RecordRuntime(rt)
+		if err := s.Step(); err != nil {
+			return nil, err
 		}
 	}
-
-	if totalAppNs > 0 {
-		res.AvgTCO = weightedTCO / totalAppNs
-	}
-	res.FinalTCO = tco.Current(m)
-	res.Faults = m.Counters().Faults
-	return res, nil
+	return s.Result(), nil
 }
 
 // wallSince returns the wall nanoseconds since *t0 and advances *t0 to

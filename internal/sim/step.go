@@ -1,0 +1,335 @@
+// Stepper: the TS-Daemon control loop, one profile window at a time.
+//
+// Run (sim.go) is the batch entry point — N windows, then a Result — but
+// the loop body itself lives here, factored so a resident controller
+// (internal/daemon) can drive the identical profile→solve→migrate→compact
+// cycle from a ticker instead of a for-loop. The extraction is the
+// daemon's determinism argument in miniature: Run(cfg) with Windows=K is
+// NewStepper(cfg) followed by exactly K Step() calls and a Result(), so
+// any driver that performs that same call sequence — batch loop, ticker,
+// test harness — produces byte-identical snapshots, move events and
+// aggregates, at every PushThreads setting.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tierscape/internal/mem"
+	"tierscape/internal/model"
+	"tierscape/internal/obs"
+	"tierscape/internal/policy"
+	"tierscape/internal/stats"
+	"tierscape/internal/tco"
+	"tierscape/internal/telemetry"
+	"tierscape/internal/workload"
+)
+
+// Stepper executes the TS-Daemon control loop one profile window per
+// Step call. It holds everything Run's window loop used to keep in
+// locals — profiler, migration filter, accumulators, scratch buffers —
+// so stepping can be suspended and resumed indefinitely (the resident
+// daemon ticks steppers for as long as their workloads stay attached).
+//
+// A Stepper is single-threaded: Step, Result and the accessors must not
+// be called concurrently. Config.Windows is ignored — the driver decides
+// how many windows happen.
+type Stepper struct {
+	cfg           Config
+	interference  float64
+	pushThreads   int
+	compactBudget int
+
+	m      *mem.Manager
+	wl     workload.Workload
+	prof   telemetry.Recorder
+	filter *policy.Filter
+	recd   obs.Recorder
+
+	res          *Result
+	buf          []workload.Access
+	regionFaults map[mem.RegionID]int
+
+	weightedTCO      float64
+	totalAppNs       float64
+	lastProfOverhead float64
+	window           int
+}
+
+// NewStepper validates cfg and builds a stepper positioned before the
+// first window. All of Config is honored except Windows, which belongs
+// to the batch driver (Run); a stepper runs as many windows as Step is
+// called.
+func NewStepper(cfg Config) (*Stepper, error) {
+	if cfg.Manager == nil || cfg.Workload == nil {
+		return nil, errors.New("sim: Manager and Workload are required")
+	}
+	if cfg.OpsPerWindow <= 0 {
+		return nil, fmt.Errorf("sim: OpsPerWindow (%d) must be positive", cfg.OpsPerWindow)
+	}
+	if cfg.Workload.NumPages() > cfg.Manager.NumPages() {
+		return nil, fmt.Errorf("sim: workload needs %d pages but manager has %d",
+			cfg.Workload.NumPages(), cfg.Manager.NumPages())
+	}
+	s := &Stepper{cfg: cfg, interference: 0.02, pushThreads: 2}
+	if cfg.Interference != nil {
+		if *cfg.Interference < 0 {
+			return nil, fmt.Errorf("sim: Interference must be >= 0, got %v", *cfg.Interference)
+		}
+		s.interference = *cfg.Interference
+	}
+	sampleRate := 0 // 0 lets the profiler pick its default
+	if cfg.SampleRate != nil {
+		if *cfg.SampleRate < 1 {
+			return nil, fmt.Errorf("sim: SampleRate must be >= 1, got %d", *cfg.SampleRate)
+		}
+		sampleRate = *cfg.SampleRate
+	}
+	if cfg.PushThreads != nil {
+		if *cfg.PushThreads < 1 {
+			return nil, fmt.Errorf("sim: PushThreads must be >= 1, got %d", *cfg.PushThreads)
+		}
+		s.pushThreads = *cfg.PushThreads
+	}
+	if cfg.CompactBudget != nil {
+		if *cfg.CompactBudget < 1 {
+			return nil, fmt.Errorf("sim: CompactBudget must be >= 1, got %d", *cfg.CompactBudget)
+		}
+		s.compactBudget = *cfg.CompactBudget
+	}
+
+	var err error
+	if cfg.AccessBitTelemetry {
+		s.prof, err = telemetry.NewABitScanner(cfg.Manager.NumPages(), cfg.Manager.NumRegions(), cfg.Cooling)
+	} else {
+		s.prof, err = telemetry.NewProfiler(telemetry.Config{
+			NumRegions: cfg.Manager.NumRegions(),
+			SampleRate: sampleRate,
+			Cooling:    cfg.Cooling,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	fcfg := policy.DefaultConfig()
+	if cfg.FilterConfig != nil {
+		fcfg = *cfg.FilterConfig
+	}
+	s.filter = policy.NewFilter(fcfg)
+
+	s.m = cfg.Manager
+	s.wl = cfg.Workload
+	s.recd = cfg.Recorder
+	s.regionFaults = make(map[mem.RegionID]int)
+	s.res = &Result{
+		WorkloadName: cfg.Workload.Name(),
+		ModelName:    "baseline",
+		OpLat:        stats.NewSummary(),
+		TCOMax:       tco.Max(cfg.Manager),
+	}
+	if cfg.Model != nil {
+		s.res.ModelName = cfg.Model.Name()
+	}
+	return s, nil
+}
+
+// Windows returns how many windows have been stepped so far.
+func (s *Stepper) Windows() int { return s.window }
+
+// Manager returns the tiered memory manager the stepper drives —
+// exposed for runtime commands (forced compaction) that act between
+// windows on the driver's thread.
+func (s *Stepper) Manager() *mem.Manager { return s.m }
+
+// Model returns the configured placement model (nil for baseline runs) —
+// exposed for runtime commands (α changes) between windows.
+func (s *Stepper) Model() model.Model { return s.cfg.Model }
+
+// Workload returns the access source the stepper consumes — exposed so
+// a driver can inspect streaming sources (e.g. trace.Stream exhaustion).
+func (s *Stepper) Workload() workload.Workload { return s.wl }
+
+// Result finalizes and returns the run summary over the windows stepped
+// so far. It is cheap, idempotent, and callable between steps: aggregates
+// (AvgTCO, FinalTCO, Faults) are recomputed from the accumulators each
+// call, so stepping may continue afterwards. The returned value is the
+// stepper's own Result — treat it as read-only while stepping continues.
+func (s *Stepper) Result() *Result {
+	if s.totalAppNs > 0 {
+		s.res.AvgTCO = s.weightedTCO / s.totalAppNs
+	}
+	s.res.FinalTCO = tco.Current(s.m)
+	s.res.Faults = s.m.Counters().Faults
+	return s.res
+}
+
+// Step runs one profile window: OpsPerWindow workload operations, then
+// the window-boundary control loop (profile → solve → plan → apply →
+// compact), appending the window's snapshot to the result and emitting
+// observability events exactly as Run does. After an error the stepper
+// must not be stepped again; the partial Result remains valid.
+func (s *Stepper) Step() error {
+	w := s.window
+	cfg := &s.cfg
+	m, wl, recd := s.m, s.wl, s.recd
+	res := s.res
+
+	var appNs float64
+	var prefetchNs float64
+	clear(s.regionFaults)
+	for op := 0; op < cfg.OpsPerWindow; op++ {
+		s.buf = wl.NextOp(s.buf[:0])
+		opNs := wl.BaseOpNs()
+		for _, a := range s.buf {
+			s.prof.Record(a.Page)
+			ar, err := m.Access(a.Page, a.Write)
+			if err != nil {
+				return fmt.Errorf("sim: window %d op %d: %w", w, op, err)
+			}
+			opNs += ar.LatencyNs
+			if ar.Fault && cfg.PrefetchFaultThreshold > 0 {
+				r := a.Page.Region()
+				s.regionFaults[r]++
+				if s.regionFaults[r] == cfg.PrefetchFaultThreshold {
+					// Prefetch: the daemon decompresses the rest of the
+					// region ahead of the application's accesses.
+					mr, err := migrateRegion(m, r, mem.DRAMTier)
+					if err != nil {
+						return fmt.Errorf("sim: prefetch window %d: %w", w, err)
+					}
+					prefetchNs += mr.LatencyNs
+					res.Prefetches++
+				}
+			}
+		}
+		res.OpLat.Add(opNs)
+		appNs += opNs
+	}
+	res.Ops += int64(cfg.OpsPerWindow)
+
+	// The span trace clocks each control-loop phase only when a
+	// recorder is present; wall time is never read otherwise and never
+	// feeds back into modeled results either way.
+	var rt obs.WindowRuntime
+	var wall time.Time
+	if recd != nil {
+		rt.Window = w + 1
+		wall = time.Now()
+	}
+	profile := s.prof.EndWindow()
+	if recd != nil {
+		rt.PhaseWallNs[obs.PhaseProfile] = wallSince(&wall)
+	}
+	rec := WindowRecord{Window: w + 1}
+	var tr *applyTrace
+
+	if cfg.Model != nil {
+		r := cfg.Model.Recommend(m, profile)
+		if recd != nil {
+			rt.PhaseWallNs[obs.PhaseSolve] = wallSince(&wall)
+		}
+		plan := s.filter.Apply(m, r, profile)
+		if recd != nil {
+			rt.PhaseWallNs[obs.PhasePlan] = wallSince(&wall)
+			tr = newApplyTrace(w+1, s.pushThreads)
+		}
+		// Real push threads: pushThreads goroutines apply the plan
+		// concurrently; the deterministic in-order commit (apply.go)
+		// merges per-move accounting by job index, so the sums below
+		// are identical at every thread count.
+		applied, err := applyMoves(m, plan.Moves, s.pushThreads, tr)
+		if err != nil {
+			return fmt.Errorf("sim: window %d migration: %w", w, err)
+		}
+		if recd != nil {
+			rt.PhaseWallNs[obs.PhaseApply] = wallSince(&wall)
+		}
+		var migNs float64
+		for _, mr := range applied {
+			migNs += mr.LatencyNs
+			rec.Moves += mr.Moved
+			rec.Rejected += mr.Rejected
+			rec.Skipped += mr.Skipped
+			if mr.Full {
+				rec.TierFullMoves++
+			}
+		}
+		rec.MigrateNs = migNs
+		rec.Migrations = migrationFlows(plan.Moves, applied)
+		rec.DroppedPressure = plan.DroppedPressure
+		rec.DroppedCapacity = plan.DroppedCapacity
+		rec.DroppedBudget = plan.DroppedBudget
+		// Post-migration pool compaction (zs_compact): churned tiers
+		// return empty zspages, up to the configured per-window budget.
+		compacted := m.CompactBudgeted(s.compactBudget)
+		if recd != nil {
+			rt.PhaseWallNs[obs.PhaseCompact] = wallSince(&wall)
+		}
+		rec.CompactedPages = compacted.PagesReclaimed
+		rec.CompactObjectsMoved = compacted.ObjectsMoved
+		rec.CompactSkippedTiers = compacted.SkippedTiers
+		rec.CompactNs = compacted.CostNs
+		migNs += compacted.CostNs
+
+		profDelta := s.prof.OverheadNs() - s.lastProfOverhead
+		s.lastProfOverhead = s.prof.OverheadNs()
+		rec.SolverNs = r.SolverNs
+		rec.WarmHit = r.Solve.WarmHit
+		rec.ClassesReused = r.Solve.ClassesReused
+		rec.ClassesRebuilt = r.Solve.ClassesRebuilt
+		rec.SolverRebuildNs = r.Solve.RebuildNs
+		rec.SolverRepairNs = r.Solve.RepairNs
+		rec.SolverFallbacks = r.Solve.Fallbacks
+		rec.ProfileNs = profDelta
+		rec.PrefetchNs = prefetchNs
+		rec.DaemonNs = r.SolverNs + migNs + profDelta + prefetchNs
+		// Interference charges the measured apply work: cache and
+		// bandwidth contention scale with the bytes the push threads
+		// move, not with how many threads move them, so the charge is
+		// push-thread-invariant (part of the determinism contract).
+		elapsed := r.SolverNs + profDelta + migNs + prefetchNs
+		appNs += elapsed * s.interference
+		rec.RecommendedPages = recommendedPages(m, r)
+	} else {
+		// Baseline still pays the (tiny) profiling tax if one imagines
+		// telemetry running; the paper's baseline has none, so charge 0.
+		s.lastProfOverhead = s.prof.OverheadNs()
+		rec.PrefetchNs = prefetchNs
+		rec.DaemonNs = prefetchNs
+		appNs += prefetchNs * s.interference
+	}
+
+	rec.AppNs = appNs
+	rec.TCO = tco.Current(m)
+	tt := m.TierTelemetry()
+	rec.TierPages = tt.Pages
+	rec.TierBytes = tt.Bytes
+	rec.TierRatio = tt.Ratio
+	rec.TierFrag = tt.Frag
+	rec.Faults = m.Counters().Faults
+	res.Windows = append(res.Windows, rec)
+
+	res.AppNs += appNs
+	res.DaemonNs += rec.DaemonNs
+	s.weightedTCO += rec.TCO * appNs
+	s.totalAppNs += appNs
+
+	if recd != nil {
+		if tr != nil {
+			// Per-worker shards merge to the canonical job-ascending
+			// event order (see obs.Shards), so the stream is identical
+			// at every PushThreads.
+			for _, ev := range tr.shards.Merge() {
+				recd.RecordMove(ev)
+			}
+			rt.PrepareWallNs = float64(tr.prepareNs.Load())
+			rt.CommitWallNs = float64(tr.commitNs.Load())
+			rt.Sched = tr.sched
+		}
+		recd.RecordWindow(rec)
+		recd.RecordRuntime(rt)
+	}
+	s.window++
+	return nil
+}

@@ -108,12 +108,13 @@ func (t *Writer) Events() int64 { return t.events }
 type Reader struct {
 	src      io.Reader
 	r        *bufio.Reader
-	numPages int64
-	content  corpus.Profile
-	lastPage int64
-	pending  bool // an op marker has been consumed and an op is open
-	replays  int64
-	baseOp   float64
+	numPages  int64
+	content   corpus.Profile
+	lastPage  int64
+	pending   bool // an op marker has been consumed and an op is open
+	exhausted bool // the stream hit a dead end it could not rewind out of
+	replays   int64
+	baseOp    float64
 }
 
 // NewReader opens a trace for replay.
@@ -141,8 +142,16 @@ func (t *Reader) readHeader() error {
 	t.content = corpus.Profile(hdr[14])
 	t.lastPage = 0
 	t.pending = false
+	t.exhausted = false
 	return nil
 }
+
+// Exhausted reports that the trace has drained (or hit malformed bytes)
+// and could not rewind: every further NextOp yields an empty op. Rewinding
+// readers over seekable sources never exhaust; consume-once sources (pipes,
+// sockets, Stream) do, which is the signal a resident driver uses to
+// detach a finished replay.
+func (t *Reader) Exhausted() bool { return t.exhausted }
 
 // Name implements workload.Workload.
 func (t *Reader) Name() string { return "trace-replay" }
@@ -177,10 +186,12 @@ func (t *Reader) nextOp(buf []workload.Access, mayRewind bool) []workload.Access
 		v, err := binary.ReadUvarint(t.r)
 		if err != nil || v != 0 {
 			if !mayRewind || !t.rewind() {
+				t.exhausted = true
 				return buf
 			}
 			mayRewind = false
 			if v, err = binary.ReadUvarint(t.r); err != nil || v != 0 {
+				t.exhausted = true
 				return buf
 			}
 		}
@@ -193,6 +204,10 @@ func (t *Reader) nextOp(buf []workload.Access, mayRewind bool) []workload.Access
 			t.pending = false
 			if len(buf) == 0 && mayRewind && t.rewind() {
 				return t.nextOp(buf, false)
+			}
+			if len(buf) == 0 {
+				// A trailing bare marker with nothing after it: dead end.
+				t.exhausted = true
 			}
 			return buf
 		}

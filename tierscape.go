@@ -32,6 +32,7 @@
 package tierscape
 
 import (
+	"errors"
 	"io"
 	"net"
 
@@ -262,9 +263,14 @@ type RunConfig struct {
 	Recorder Recorder
 }
 
-// Run builds a tiered system sized for the workload and executes the
-// TS-Daemon loop, returning the run's results.
-func Run(cfg RunConfig) (*Result, error) {
+// SimConfig builds the tiered system for cfg and lowers it to the
+// internal simulation config — the form Run executes and the resident
+// daemon (internal/daemon) attaches. Exposed for in-module drivers like
+// cmd/tierscape's -daemon mode; external callers use Run.
+func SimConfig(cfg RunConfig) (sim.Config, error) {
+	if cfg.Workload == nil {
+		return sim.Config{}, errors.New("tierscape: Workload is required")
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 42
@@ -281,7 +287,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		CompressedTiers:   cfg.Tiers,
 	})
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	scfg := sim.Config{
 		Manager:                m,
@@ -300,6 +306,16 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	if cfg.SampleRate > 0 {
 		scfg.SampleRate = sim.Int(cfg.SampleRate)
+	}
+	return scfg, nil
+}
+
+// Run builds a tiered system sized for the workload and executes the
+// TS-Daemon loop, returning the run's results.
+func Run(cfg RunConfig) (*Result, error) {
+	scfg, err := SimConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	return sim.Run(scfg)
 }
