@@ -44,6 +44,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	prefetch := flag.Int("prefetch", 0, "prefetcher fault threshold per region per window (0 = off)")
 	push := flag.Int("push", 2, "push threads applying migrations (results identical at any value)")
+	commitBatch := flag.Int("commit-batch", 0, "commit granularity in pages for the parallel apply engine (0 = whole-region commits; results identical at any value)")
 	compactBudget := flag.Int("compact-budget", 0, "pool pages the per-window compaction pass may reclaim across tiers (0 = unbounded full sweep; the remainder carries over)")
 	record := flag.String("record", "", "record the access trace to this file while running")
 	replay := flag.String("replay", "", "replay a recorded trace file as the workload")
@@ -71,6 +72,7 @@ func main() {
 				Seed:          *seed,
 				Ops:           *ops,
 				Push:          *push,
+				CommitBatch:   *commitBatch,
 				Prefetch:      *prefetch,
 				CompactBudget: *compactBudget,
 				WarmSolver:    *warmSolver,
@@ -126,6 +128,7 @@ func main() {
 		SampleRate:             50,
 		Seed:                   *seed,
 		PushThreads:            *push,
+		CommitBatch:            *commitBatch,
 		CompactBudget:          *compactBudget,
 		PrefetchFaultThreshold: *prefetch,
 	}

@@ -1,0 +1,305 @@
+// Page-granular commit (CommitBatch) suite: sub-region commit chunks
+// must be byte-identical to a whole-region commit at every batch size,
+// report tier releases exactly once per footprint tier, and preserve the
+// consumed-region semantics the old CommitRegionMigration had.
+package mem
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
+	"tierscape/internal/ztier"
+)
+
+// batchManager builds DRAM + NVMM + CT1 + CT2 over numPages of Dickens
+// content; ctLimit > 0 clamps CT2's pool so demotions into it reject
+// mid-region and fall back; dramCap > 0 bounds DRAM so those fallbacks
+// can themselves fail with ErrTierFull.
+func batchManager(t *testing.T, numPages int64, ctLimit int, dramCap int64) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		NumPages:          numPages,
+		Content:           corpus.NewGenerator(corpus.Dickens, 42),
+		DRAMCapacityPages: dramCap,
+		ByteTiers:         []media.Kind{media.NVMM},
+		CompressedTiers:   []ztier.Config{ztier.CT1(), ztier.CT2()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctLimit > 0 {
+		if err := m.SetCompressedTierLimit(TierID(3), ctLimit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// commitInChunks drains pr through CommitBatch(maxPages) the way the
+// apply engine does: the running Total of the final chunk is the region
+// result, ErrTierFull is sticky across chunks, and the per-chunk
+// Released sets are collected for the caller.
+func commitInChunks(t *testing.T, m *Manager, pr *PreparedRegion, maxPages int) (MigrationResult, []TierSet, int, error) {
+	t.Helper()
+	var rel []TierSet
+	var mr MigrationResult
+	var full bool
+	chunks := 0
+	for {
+		ck, err := m.CommitBatch(pr, maxPages)
+		chunks++
+		mr = ck.Total
+		if errors.Is(err, ErrTierFull) {
+			full = true
+			err = nil
+		}
+		if err != nil {
+			return mr, rel, chunks, err
+		}
+		rel = append(rel, ck.Released)
+		if ck.Done {
+			break
+		}
+	}
+	if full {
+		return mr, rel, chunks, ErrTierFull
+	}
+	return mr, rel, chunks, nil
+}
+
+// moveBatched migrates region r to dest on m via prepare + chunked
+// commit, returning the same (result, error) shape as MigrateRegion.
+func moveBatched(t *testing.T, m *Manager, r RegionID, dest TierID, maxPages int) (MigrationResult, error) {
+	t.Helper()
+	pr, err := m.PrepareRegionMigration(r, dest)
+	if err != nil {
+		t.Fatalf("prepare region %d -> tier %d: %v", r, dest, err)
+	}
+	mr, _, _, cerr := commitInChunks(t, m, pr, maxPages)
+	return mr, cerr
+}
+
+// TestCommitBatchEquivalence: the same multi-hop migration sequence —
+// including ErrTierFull fallbacks out of a clamped CT2 — lands the exact
+// same results, residency and counters whether regions commit whole or
+// in chunks of any size. Chunking must also never change which moves
+// report ErrTierFull.
+func TestCommitBatchEquivalence(t *testing.T) {
+	const numPages = 8 * RegionPages
+	ct1, ct2 := TierID(2), TierID(3)
+	type hop struct {
+		r    RegionID
+		dest TierID
+	}
+	plan := []hop{
+		{0, ct1}, {1, ct2}, {2, ct1}, {3, ct2},
+		{4, ct2}, {5, ct1}, {6, ct2}, {7, ct1},
+		// Second wave: cross-CT moves and promotions over the now-clamped
+		// CT2, plus skip-heavy repeats.
+		{0, ct2}, {1, DRAMTier}, {2, ct2}, {3, ct1},
+		{4, DRAMTier}, {5, ct1}, {6, ct1}, {7, ct2},
+	}
+	run := func(maxPages int) ([]MigrationResult, []bool, []int64, Counters) {
+		m := batchManager(t, numPages, 96, 2*RegionPages)
+		results := make([]MigrationResult, len(plan))
+		fulls := make([]bool, len(plan))
+		for i, h := range plan {
+			var err error
+			if maxPages < 0 { // whole-region reference via the wrapper
+				pr, perr := m.PrepareRegionMigration(h.r, h.dest)
+				if perr != nil {
+					t.Fatal(perr)
+				}
+				results[i], err = m.CommitRegionMigration(pr)
+			} else {
+				results[i], err = moveBatched(t, m, h.r, h.dest, maxPages)
+			}
+			if errors.Is(err, ErrTierFull) {
+				fulls[i] = true
+				err = nil
+			}
+			if err != nil {
+				t.Fatalf("maxPages=%d hop %d: %v", maxPages, i, err)
+			}
+		}
+		return results, fulls, m.TierPages(), m.Counters()
+	}
+	baseRes, baseFull, basePages, baseCtr := run(-1)
+	fullSeen := false
+	for _, f := range baseFull {
+		fullSeen = fullSeen || f
+	}
+	if !fullSeen {
+		t.Fatal("plan forced no ErrTierFull; equivalence test is vacuous")
+	}
+	for _, maxPages := range []int{1, 3, 7, 32, RegionPages, 10 * RegionPages} {
+		res, fulls, pages, ctr := run(maxPages)
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Fatalf("maxPages=%d: results differ from whole-region commit", maxPages)
+		}
+		if !reflect.DeepEqual(fulls, baseFull) {
+			t.Fatalf("maxPages=%d: ErrTierFull reporting differs: %v vs %v", maxPages, fulls, baseFull)
+		}
+		if !reflect.DeepEqual(pages, basePages) {
+			t.Fatalf("maxPages=%d: residency differs: %v vs %v", maxPages, pages, basePages)
+		}
+		if ctr != baseCtr {
+			t.Fatalf("maxPages=%d: counters differ: %+v vs %+v", maxPages, ctr, baseCtr)
+		}
+	}
+}
+
+// TestCommitBatchReleased: across a chunked commit, every tier of the
+// move's static footprint is released exactly once, the union of the
+// released sets equals MoveFootprint, and nothing is released before the
+// region has committed its last page touching that tier (the chunk that
+// finishes the region carries the final releases).
+func TestCommitBatchReleased(t *testing.T) {
+	m := batchManager(t, 4*RegionPages, 0, 0)
+	ct1 := TierID(2)
+	fp, err := m.MoveFootprint(0, ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == 0 {
+		t.Fatal("DRAM->CT1 footprint empty; release test is vacuous")
+	}
+	pr, err := m.PrepareRegionMigration(0, ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Remaining() != RegionPages {
+		t.Fatalf("Remaining = %d, want %d", pr.Remaining(), RegionPages)
+	}
+	_, rel, chunks, err := commitInChunks(t, m, pr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (RegionPages + 6) / 7; chunks != want {
+		t.Fatalf("chunks = %d, want %d", chunks, want)
+	}
+	var union TierSet
+	for i, ts := range rel {
+		if union.Overlaps(ts) {
+			t.Fatalf("chunk %d re-released tiers %b (already released %b)", i, ts, union)
+		}
+		union = union.Union(ts)
+	}
+	if union != fp {
+		t.Fatalf("released union = %b, want footprint %b", union, fp)
+	}
+	// A single-destination demotion touches CT1 with every non-skip page,
+	// so its release can only ride the final chunk.
+	if rel[len(rel)-1] == 0 && len(rel) > 1 {
+		t.Fatal("final chunk released nothing, but the last pages finish the footprint")
+	}
+	if pr.Remaining() != 0 {
+		t.Fatalf("Remaining after drain = %d, want 0", pr.Remaining())
+	}
+}
+
+// TestCommitBatchUniformReleaseTiming: for a uniform-residency region
+// (every page shares one source, one destination), no tier's last page
+// commits before the region's last page, so every chunk release must be
+// empty until the final chunk. The complementary mixed-residency case —
+// a genuinely early release — is TestCommitBatchEarlyRelease below.
+func TestCommitBatchUniformReleaseTiming(t *testing.T) {
+	m := batchManager(t, 4*RegionPages, 0, 0)
+	ct1 := TierID(2)
+	pr, err := m.PrepareRegionMigration(1, ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel, _, err := commitInChunks(t, m, pr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range rel[:len(rel)-1] {
+		if ts != 0 {
+			t.Fatalf("chunk %d released %b before the region finished a uniform demotion", i, ts)
+		}
+	}
+	if rel[len(rel)-1] == 0 {
+		t.Fatal("final chunk released nothing")
+	}
+}
+
+// TestCommitBatchEarlyRelease: a mixed-residency region — built by
+// demoting into a clamped CT2 so the overflow pages fall back to DRAM —
+// finishes its CT2-sourced pages before its DRAM-sourced tail on the
+// next move, so CT2's release must arrive strictly before the final
+// chunk. This is the property the apply engine's early stream handoff
+// rides on.
+func TestCommitBatchEarlyRelease(t *testing.T) {
+	m := batchManager(t, 4*RegionPages, 24, 0)
+	ct1, ct2 := TierID(2), TierID(3)
+	if mr, err := m.MigrateRegion(0, ct2); err != nil || mr.Rejected == 0 {
+		t.Fatalf("setup demotion into clamped CT2: result %+v, err %v; want rejects", mr, err)
+	}
+	res := m.RegionResidency(0)
+	if res[ct2] == 0 || res[ct2] == RegionPages {
+		t.Fatalf("region 0 residency not mixed: %v", res)
+	}
+	pr, err := m.PrepareRegionMigration(0, ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel, _, err := commitInChunks(t, m, pr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2Chunk := -1
+	for i, ts := range rel {
+		if ts.Contains(ct2) {
+			ct2Chunk = i
+		}
+	}
+	if ct2Chunk < 0 {
+		t.Fatalf("CT2 never released: %v", rel)
+	}
+	if ct2Chunk == len(rel)-1 {
+		t.Fatalf("CT2 released only on the final chunk (%d); expected an early handoff", ct2Chunk)
+	}
+}
+
+// TestCommitBatchConsumed: a fully drained prepared region reports
+// Done with a zero chunk on further CommitBatch calls — preserving the
+// old double-CommitRegionMigration behavior (zero result, nil error) —
+// and CommitRegionMigration on a consumed region still returns zero/nil.
+func TestCommitBatchConsumed(t *testing.T) {
+	m := batchManager(t, 2*RegionPages, 0, 0)
+	pr, err := m.PrepareRegionMigration(0, TierID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := commitInChunks(t, m, pr, 5); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := m.CommitBatch(pr, 5)
+	if err != nil || !ck.Done || ck.Total != (MigrationResult{}) || ck.Released != 0 {
+		t.Fatalf("consumed CommitBatch = %+v, %v; want Done zero chunk, nil", ck, err)
+	}
+	if mr, err := m.CommitRegionMigration(pr); err != nil || mr != (MigrationResult{}) {
+		t.Fatalf("consumed CommitRegionMigration = %+v, %v; want zero, nil", mr, err)
+	}
+}
+
+// TestCommitBatchWrongManager: committing a region prepared on another
+// manager errors and consumes the prepared region.
+func TestCommitBatchWrongManager(t *testing.T) {
+	m1 := batchManager(t, 2*RegionPages, 0, 0)
+	m2 := batchManager(t, 2*RegionPages, 0, 0)
+	pr, err := m1.PrepareRegionMigration(0, TierID(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.CommitBatch(pr, 4); err == nil {
+		t.Fatal("cross-manager CommitBatch succeeded")
+	}
+	if ck, err := m1.CommitBatch(pr, 4); err != nil || !ck.Done {
+		t.Fatalf("consumed region after cross-manager error: got %+v, %v", ck, err)
+	}
+}

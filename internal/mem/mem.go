@@ -522,6 +522,13 @@ type preparedPage struct {
 
 	skip bool
 
+	// fp is this one page's commit footprint (pageFootprint at prepare
+	// time): the order-sensitive tiers committing just this page can read
+	// or mutate. The region's footprint is the union over its pages, and
+	// CommitBatch's per-tier remaining counts are built from these. Zero
+	// for skips.
+	fp TierSet
+
 	// Same-codec fast-path candidate (§7.1): the raw compressed object
 	// read from the source plus its modeled read latency.
 	fastComp []byte
@@ -556,6 +563,7 @@ func (m *Manager) preparePage(p PageID, dest TierID, sc *MigrationScratch) (prep
 		pp.skip = true
 		return pp, nil
 	}
+	pp.fp = m.pageFootprint(e.tier, dest)
 	// Same-codec fast path (§7.1): between two compressed tiers using the
 	// same compression algorithm, the compressed object moves directly —
 	// no decompression, no recompression.
@@ -823,6 +831,29 @@ type PreparedRegion struct {
 	dest   TierID
 	fp     TierSet
 	pages  []preparedPage
+
+	// cursor indexes the next uncommitted page. CommitBatch advances it
+	// one chunk at a time; CommitRegionMigration runs it to the end.
+	cursor int
+	// rem counts, per tier, how many uncommitted pages still carry that
+	// tier in their footprint. A tier whose count reaches zero is
+	// finished: the job can hand the tier's commit stream to its
+	// successor before the rest of the region lands (CommitChunk.Released).
+	// Indexed by TierID; ids past TierSet's 64-tier limit are not
+	// represented, matching the footprint degradation for such managers.
+	rem [64]int16
+	// total accumulates the per-page results across every commit chunk in
+	// page order, so the float latency sum is bit-identical no matter how
+	// the commit was chunked.
+	total MigrationResult
+}
+
+// Remaining returns how many prepared pages have not committed yet.
+func (pr *PreparedRegion) Remaining() int {
+	if pr.pages == nil {
+		return 0
+	}
+	return len(pr.pages) - pr.cursor
 }
 
 // Footprint returns the move's commit footprint as observed at prepare
@@ -868,6 +899,32 @@ func (m *Manager) FaultFallbackSet() TierSet {
 		}
 	}
 	return s
+}
+
+// pageFootprint is footprintLocked restricted to a single page: the
+// order-sensitive tiers committing a move of one page from src to dest can
+// read or mutate — the source if ordered, the destination if ordered, and
+// the fault-fallback coupling set when a compressed-tier page can be
+// rejected by the destination. A skip (src == dest) touches nothing. The
+// union over a region's pages equals footprintLocked over the region,
+// which is what lets CommitBatch report a footprint tier as finished the
+// moment its last page commits.
+func (m *Manager) pageFootprint(src, dest TierID) TierSet {
+	if src == dest {
+		return 0
+	}
+	var fp TierSet
+	if m.orderedTier(src) {
+		fp = fp.With(src)
+	}
+	if m.orderedTier(dest) {
+		fp = fp.With(dest)
+	}
+	_, destCT := m.ct(dest)
+	if _, srcCT := m.ct(src); srcCT && (destCT || m.orderedTier(dest)) {
+		fp = fp.Union(m.FaultFallbackSet())
+	}
+	return fp
 }
 
 // footprintLocked computes the commit footprint of moving the pages in
@@ -989,47 +1046,130 @@ func (m *Manager) PrepareRegionMigrationScratch(r RegionID, dest TierID, sc *Mig
 		}
 		pr.pages = append(pr.pages, pp)
 	}
-	pr.fp = m.footprintLocked(start, end, dest, func(p PageID) TierID {
-		return pr.pages[p-start].src
-	})
+	// The region footprint is the union of the per-page footprints (equal
+	// to footprintLocked over the same residency), and rem counts how many
+	// pages keep each tier in play — the accounting CommitBatch drains.
+	for i := range pr.pages {
+		f := pr.pages[i].fp
+		pr.fp = pr.fp.Union(f)
+		for b := uint64(f); b != 0; b &= b - 1 {
+			pr.rem[bits.TrailingZeros64(b)]++
+		}
+	}
 	return pr, nil
 }
 
 // CommitRegionMigration lands a prepared region migration, with the same
 // accumulation and ErrTierFull contract as MigrateRegion. The prepared
-// region is consumed: its buffers are released even on error.
+// region is consumed: its buffers are released even on error. It resumes
+// from the commit cursor, so a region partially landed by CommitBatch
+// calls finishes here with the total accumulated across all chunks.
 func (m *Manager) CommitRegionMigration(pr *PreparedRegion) (MigrationResult, error) {
-	var total MigrationResult
+	ck, err := m.CommitBatch(pr, 0)
+	return ck.Total, err
+}
+
+// CommitChunk reports one CommitBatch call's outcome.
+type CommitChunk struct {
+	// Total is the migration result accumulated over every page committed
+	// so far — all chunks, in page order — so after the final chunk it is
+	// bit-identical to what a single CommitRegionMigration would have
+	// returned, whatever the chunking.
+	Total MigrationResult
+	// Released is the set of footprint tiers whose last page committed
+	// within this chunk: the move has finished touching them, and a
+	// commit scheduler may hand their streams to the next job before the
+	// rest of the region lands. Only tiers in Footprint() are reported.
+	Released TierSet
+	// Done reports that every prepared page has committed and the
+	// prepared region is consumed.
+	Done bool
+}
+
+// CommitBatch lands the next maxPages prepared pages of pr under the
+// region write lock, resuming from the commit cursor (maxPages <= 0
+// commits everything remaining — CommitRegionMigration's behavior). The
+// lock is dropped between chunks, and each chunk reports the footprint
+// tiers the move has now finished touching. ErrTierFull is per chunk and
+// benign, exactly like the whole-region contract: the sweep continues and
+// the accounting stays valid; a caller reproducing CommitRegionMigration's
+// error must OR the flag across chunks. A hard error consumes the region
+// (remaining buffers released) like CommitRegionMigration's.
+//
+// Released is computed from the pages' prepare-time footprints, so it is
+// only meaningful when the region's pages have not moved since prepare —
+// true within one window's plan for a region's first move. Later moves of
+// the same region (commitPage re-prepares relocated pages) must commit
+// whole-region and release only on completion.
+func (m *Manager) CommitBatch(pr *PreparedRegion, maxPages int) (CommitChunk, error) {
+	var ck CommitChunk
 	if pr == nil {
-		return total, errors.New("mem: nil prepared region")
+		return ck, errors.New("mem: nil prepared region")
 	}
 	if pr.m != m {
 		pr.Release()
-		return total, errors.New("mem: prepared region belongs to a different manager")
+		return ck, errors.New("mem: prepared region belongs to a different manager")
+	}
+	if pr.pages == nil {
+		// Already consumed (fully committed, released, or failed hard).
+		ck.Done = true
+		return ck, nil
+	}
+	to := len(pr.pages)
+	if maxPages > 0 && pr.cursor+maxPages < to {
+		to = pr.cursor + maxPages
 	}
 	mu := m.regionLock(pr.region)
 	mu.Lock()
-	defer mu.Unlock()
-	full := false
-	for i := range pr.pages {
-		res, err := m.commitPage(pr.pages[i])
-		total.Moved += res.Moved
-		total.Rejected += res.Rejected
-		total.Skipped += res.Skipped
-		total.LatencyNs += res.LatencyNs
+	released, full, err := m.commitPagesLocked(pr, to)
+	mu.Unlock()
+	ck.Total = pr.total
+	ck.Released = released
+	if err != nil {
+		ck.Done = true // commitPagesLocked consumed the region
+		return ck, err
+	}
+	if pr.cursor == len(pr.pages) {
+		ck.Done = true
+		pr.pages = nil
+	}
+	if full {
+		return ck, ErrTierFull
+	}
+	return ck, nil
+}
+
+// commitPagesLocked commits pr.pages[pr.cursor:to] in page order,
+// accumulating into pr.total and draining the per-tier remaining counts;
+// released collects the tiers whose count reached zero. Caller holds the
+// region write lock. full reports an ErrTierFull observed in the range; a
+// hard error releases the remaining pages, consuming pr.
+func (m *Manager) commitPagesLocked(pr *PreparedRegion, to int) (released TierSet, full bool, err error) {
+	for pr.cursor < to {
+		i := pr.cursor
+		fp := pr.pages[i].fp
+		res, cerr := m.commitPage(pr.pages[i])
+		pr.cursor++
+		pr.total.Moved += res.Moved
+		pr.total.Rejected += res.Rejected
+		pr.total.Skipped += res.Skipped
+		pr.total.LatencyNs += res.LatencyNs
+		for b := uint64(fp); b != 0; b &= b - 1 {
+			t := bits.TrailingZeros64(b)
+			pr.rem[t]--
+			if pr.rem[t] == 0 {
+				released = released.With(TierID(t))
+			}
+		}
 		switch {
-		case errors.Is(err, ErrTierFull):
+		case errors.Is(cerr, ErrTierFull):
 			full = true
-		case err != nil:
+		case cerr != nil:
 			pr.releaseFrom(i + 1)
-			return total, err
+			return released, full, cerr
 		}
 	}
-	pr.pages = nil
-	if full {
-		return total, ErrTierFull
-	}
-	return total, nil
+	return released, full, nil
 }
 
 // TierPages returns the number of resident pages per tier, indexed by
@@ -1054,7 +1194,9 @@ func (m *Manager) TierFootprintBytes() []int64 {
 		out[i] = b.pages.Load() * PageSize
 	}
 	for i, c := range m.cts {
-		out[len(m.ba)+i] = c.tier.Stats().PoolBytes()
+		// Commit-time page accounting: reads the pool footprint without
+		// the tier lock, so TCO sampling never stalls a commit batch.
+		out[len(m.ba)+i] = int64(c.tier.LivePoolPages()) * PageSize
 	}
 	return out
 }

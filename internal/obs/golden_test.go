@@ -19,7 +19,7 @@ func goldenLive() *Live {
 	l.RecordWindow(WindowSnapshot{
 		Window: 1, AppNs: 1.5e9, DaemonNs: 2.5e8, SolverNs: 1e8,
 		MigrateNs: 1.2e8, CompactNs: 2e7, ProfileNs: 5e6, PrefetchNs: 5e6,
-		TCO: 0.75,
+		TCO:       0.75,
 		TierPages: []int64{700, 100, 150, 74}, TierBytes: []int64{2867200, 409600, 204800, 102400},
 		TierRatio: []float64{0, 0, 0.42, 0.31}, TierFrag: []float64{0, 0, 0.125, 0.0625},
 		RecommendedPages: []int64{512, 256, 128, 128},
@@ -34,19 +34,19 @@ func goldenLive() *Live {
 	l.RecordWindow(WindowSnapshot{
 		Window: 2, AppNs: 1.25e9, DaemonNs: 1.5e8, SolverNs: 5e7,
 		MigrateNs: 9e7, CompactNs: 5e6, ProfileNs: 2.5e6, PrefetchNs: 2.5e6,
-		TCO: 0.5,
+		TCO:       0.5,
 		TierPages: []int64{600, 120, 200, 104}, TierBytes: []int64{2457600, 491520, 245760, 131072},
 		TierRatio: []float64{0, 0, 0.4, 0.3}, TierFrag: []float64{0, 0, 0.25, 0.125},
 		Migrations: []TierFlow{{From: 0, To: 3, Pages: 64, Rejected: 2}},
 		Faults:     30, Moves: 64, Rejected: 2, Skipped: 1,
-		WarmHit:    true, ClassesReused: 14, ClassesRebuilt: 2,
+		WarmHit: true, ClassesReused: 14, ClassesRebuilt: 2,
 		SolverRebuildNs: 1e7, SolverRepairNs: 4e7, SolverFallbacks: 1,
 	})
 	l.RecordRuntime(WindowRuntime{
-		Window:      2,
-		PhaseWallNs: [NumPhases]float64{1e6, 2e6, 5e5, 4e6, 1.5e6},
+		Window:        2,
+		PhaseWallNs:   [NumPhases]float64{1e6, 2e6, 5e5, 4e6, 1.5e6},
 		PrepareWallNs: 3e6, CommitWallNs: 1e6,
-		Sched: SchedulerStats{Jobs: 8, Wakeups: 8, BlockedAwaits: 2, StallNs: 250000},
+		Sched: SchedulerStats{Jobs: 8, Wakeups: 8, BlockedAwaits: 2, StallNs: 250000, PartialReleases: 3, BatchCommits: 12},
 	})
 	// Daemon surface.
 	l.SetDaemonAttached(2)

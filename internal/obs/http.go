@@ -57,6 +57,8 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("sched_wakeups_total", "Commit-scheduler eligibility signals issued.", s.wakeups)
 	counter("sched_blocked_awaits_total", "Commits whose worker blocked waiting for a predecessor.", s.blocked)
 	counter("sched_stall_seconds_total", "Wall time workers spent blocked in commit await.", float64(s.stallNs)/1e9)
+	counter("sched_partial_releases_total", "Tier streams handed to a successor before the owning job finished committing.", s.partialReleases)
+	counter("sched_batch_commits_total", "Sub-region commit chunks landed by the page-granular commit pipeline.", s.batchCommits)
 
 	// Daemon surface: always emitted (zero outside daemon mode) so
 	// scrapers and the CI smoke can rely on the series existing.

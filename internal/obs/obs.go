@@ -254,6 +254,13 @@ type SchedulerStats struct {
 	BlockedAwaits int
 	// StallNs is total wall time workers spent blocked in await.
 	StallNs int64
+	// PartialReleases counts per-tier stream handoffs a job performed
+	// before its commit finished — early releases from page-granular
+	// (CommitBatch) commits. Zero when commits are whole-region.
+	PartialReleases int
+	// BatchCommits counts sub-region commit chunks landed across the
+	// window's jobs; zero when commits are whole-region.
+	BatchCommits int64
 	// TierStreams describes each per-tier sequencer, indexed by TierID:
 	// how many commits it ordered and how many wakeups its stream
 	// advance signalled.

@@ -1,17 +1,20 @@
 package obs
 
+import "sort"
+
 // Shards collects MoveEvents from concurrent apply workers without
 // synchronization: each worker appends only to its own shard, and the
 // single-threaded caller merges the shards after the worker pool drains.
 //
-// Determinism argument: the apply engine hands out jobs from a shared
-// atomic counter, so each worker's shard is ascending in Job; which worker
-// runs which job varies run to run, but every job appears exactly once
-// across the shards and each event's content is a pure function of the
-// job (the engine's per-tier serial projection fixes every commit
-// outcome). Merging by ascending Job therefore yields one canonical
-// sequence — byte-identical at every worker count — from buffers that
-// were filled in nondeterministic interleavings.
+// Determinism argument: every job appears exactly once across the shards
+// and each event's content is a pure function of the job (the engine's
+// per-tier serial projection fixes every commit outcome), so sorting the
+// union by ascending Job yields one canonical sequence — byte-identical
+// at every worker count — from buffers that were filled in
+// nondeterministic interleavings. No per-shard ordering is assumed: the
+// apply engine's stall-aware dispatch hands workers jobs out of index
+// order, and a worker that steals a job its own commit unblocked records
+// it mid-shard.
 type Shards struct {
 	shards [][]MoveEvent
 }
@@ -32,9 +35,8 @@ func (s *Shards) Record(worker int, ev MoveEvent) {
 
 // Merge returns every recorded event in ascending Job order — the
 // canonical sequence a serial apply would have produced. Call only after
-// all producers have finished. Shards are consumed positionally (each is
-// already Job-ascending), so the merge is a k-way pick of the smallest
-// head.
+// all producers have finished. Jobs are unique within a window's apply,
+// so a plain sort on Job is a total order.
 func (s *Shards) Merge() []MoveEvent {
 	total := 0
 	for _, sh := range s.shards {
@@ -44,19 +46,9 @@ func (s *Shards) Merge() []MoveEvent {
 		return nil
 	}
 	out := make([]MoveEvent, 0, total)
-	idx := make([]int, len(s.shards))
-	for len(out) < total {
-		best := -1
-		for w, sh := range s.shards {
-			if idx[w] >= len(sh) {
-				continue
-			}
-			if best < 0 || sh[idx[w]].Job < s.shards[best][idx[best]].Job {
-				best = w
-			}
-		}
-		out = append(out, s.shards[best][idx[best]])
-		idx[best]++
+	for _, sh := range s.shards {
+		out = append(out, sh...)
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Job < out[b].Job })
 	return out
 }

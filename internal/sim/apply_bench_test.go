@@ -87,7 +87,28 @@ func benchPlans() []benchPlan {
 		// Clamped first CT: every commit risks ErrTierFull fallback, the
 		// conflict-heaviest realistic shape.
 		{name: "fallback", numCTs: 8, ctLimit: 64, demote: single},
+		// Skewed destinations: ~70% of regions demote to one hot CT, the
+		// rest spread over the others — the shape a Zipfian working set
+		// hands the planner. Drawn from a fixed LCG so the plan is
+		// identical across runs and implementations.
+		{name: "mixed", numCTs: 8, demote: mixedPlan},
 	}
+}
+
+// mixedPlan sends ~70% of regions to CT-1 and scatters the rest across
+// the remaining CTs, using a deterministic LCG stream.
+func mixedPlan(numCTs int) []policy.Move {
+	moves := make([]policy.Move, benchRegions)
+	x := uint64(0x9e3779b97f4a7c15)
+	for r := range moves {
+		x = x*6364136223846793005 + 1442695040888963407
+		dest := mem.TierID(2) // the hot CT
+		if x>>32%10 >= 7 {    // ~30%: spread over CT-2..CT-k
+			dest = mem.TierID(3 + int(x>>16)%(numCTs-1))
+		}
+		moves[r] = policy.Move{Region: mem.RegionID(r), Dest: dest}
+	}
+	return moves
 }
 
 func promotePlan() []policy.Move {
@@ -110,7 +131,14 @@ func BenchmarkApplyMoves(b *testing.B) {
 		apply applyFunc
 	}{
 		{"sched", func(m *mem.Manager, mv []policy.Move, pt int) error {
-			_, err := applyMoves(m, mv, pt, nil)
+			_, err := applyMoves(m, mv, pt, 0, nil)
+			return err
+		}},
+		// Page-granular commits: 32-page chunks with early per-tier stream
+		// release (the -commit-batch knob). Results are byte-identical to
+		// whole-region sched; only the wall-clock shape differs.
+		{"sched_b32", func(m *mem.Manager, mv []policy.Move, pt int) error {
+			_, err := applyMoves(m, mv, pt, 32, nil)
 			return err
 		}},
 		{"turnstile", func(m *mem.Manager, mv []policy.Move, pt int) error {
@@ -184,7 +212,7 @@ func BenchmarkApplyMovesSequencerOverhead(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s := newCommitScheduler(10, fps, prev, false)
-				run(s.await, s.done, pt)
+				run(s.await, func(i int) { s.done(i) }, pt)
 			}
 		})
 		b.Run(fmt.Sprintf("impl=turnstile/pt=%d", pt), func(b *testing.B) {

@@ -167,7 +167,7 @@ func TestConcurrentApplyMovesFallbackConflicts(t *testing.T) {
 		for r := int64(0); r < m.NumRegions(); r += 3 {
 			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
 		}
-		results, err := applyMoves(m, moves, workers, nil)
+		results, err := applyMoves(m, moves, workers, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +214,7 @@ func TestConcurrentApplyMovesRepeatable(t *testing.T) {
 		for r := int64(0); r < m.NumRegions(); r += 3 {
 			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
 		}
-		results, err := applyMoves(m, moves, workers, nil)
+		results, err := applyMoves(m, moves, workers, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,5 +230,77 @@ func TestConcurrentApplyMovesRepeatable(t *testing.T) {
 			t.Fatalf("workers=%d: tier residency differs from serial: %v vs %v",
 				workers, pages, basePages)
 		}
+	}
+}
+
+// TestConcurrentApplyMovesCommitBatch extends the determinism contract to
+// the page-granular commit pipeline: a fallback-scarred plan (wave 1
+// leaves regions with mixed residency by clamping CT-1) applied with
+// sub-region commit batches at PushThreads 2 and 8 must match the serial
+// whole-region apply exactly — per-move results, residency and counters —
+// for every batch size. The PT-8 small-batch run doubles as the
+// scheduler-stats smoke: it must actually exercise early stream handoffs
+// (PartialReleases > 0) and land more commit chunks than jobs. Runs under
+// -race -count=3 in CI (the Concurrent suite).
+func TestConcurrentApplyMovesCommitBatch(t *testing.T) {
+	collect := func(workers, batch int, tr *applyTrace) ([]moveOutcome, []int64, mem.Counters) {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		m := standardMix(t, wl)
+		ct1, ct2 := mem.TierID(2), mem.TierID(3)
+		if err := m.SetCompressedTierLimit(ct1, 32); err != nil {
+			t.Fatal(err)
+		}
+		// Wave 1 (whole-region, serial): pile every region into the
+		// clamped CT-1 so its overflow falls back and at least one region
+		// ends up with pages split across CT-1 and DRAM.
+		var wave1 []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			wave1 = append(wave1, policy.Move{Region: mem.RegionID(r), Dest: ct1})
+		}
+		if _, err := applyMoves(m, wave1, 1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Wave 2 (under test): each region appears once — unchained jobs,
+		// the batch path — and the mixed-residency regions finish their
+		// CT-1 pages before their DRAM tail, releasing CT-1's stream
+		// early.
+		var wave2 []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			wave2 = append(wave2, policy.Move{Region: mem.RegionID(r), Dest: ct2})
+		}
+		results, err := applyMoves(m, wave2, workers, batch, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, m.TierPages(), m.Counters()
+	}
+	baseRes, basePages, baseCtr := collect(1, 0, nil)
+	for _, workers := range []int{2, 8} {
+		for _, batch := range []int{4, 32} {
+			res, pages, ctr := collect(workers, batch, nil)
+			if !reflect.DeepEqual(res, baseRes) {
+				t.Fatalf("workers=%d batch=%d: per-move results differ from serial whole-region", workers, batch)
+			}
+			if !reflect.DeepEqual(pages, basePages) {
+				t.Fatalf("workers=%d batch=%d: residency differs: %v vs %v", workers, batch, pages, basePages)
+			}
+			if ctr != baseCtr {
+				t.Fatalf("workers=%d batch=%d: counters differ: %+v vs %+v", workers, batch, ctr, baseCtr)
+			}
+		}
+	}
+	// Scheduler-stats smoke at PT 8, batch 4: the plan must genuinely
+	// exercise the page-granular pipeline, not vacuously pass DeepEqual.
+	tr := newApplyTrace(1, 8)
+	res, _, _ := collect(8, 4, tr)
+	if !reflect.DeepEqual(res, baseRes) {
+		t.Fatal("traced batched apply diverged from serial")
+	}
+	if tr.sched.PartialReleases == 0 {
+		t.Fatal("PartialReleases = 0: the plan produced no early stream handoff; smoke is vacuous")
+	}
+	if tr.sched.BatchCommits <= int64(len(baseRes)) {
+		t.Fatalf("BatchCommits = %d over %d jobs: sub-region chunking did not happen",
+			tr.sched.BatchCommits, len(baseRes))
 	}
 }

@@ -9,10 +9,14 @@ import (
 	"reflect"
 	"testing"
 
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
 	"tierscape/internal/mem"
 	"tierscape/internal/model"
 	"tierscape/internal/obs"
+	"tierscape/internal/policy"
 	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
 )
 
 // obsRun is ptRun with a recording Recorder attached: an in-memory capture
@@ -298,6 +302,150 @@ func BenchmarkRecorderOffCommit(b *testing.B) {
 		b.StartTimer()
 		if _, err := m.CommitRegionMigration(pr); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// fallbackObsRun is obsRun on a fallback-heavy manager (CT-1 clamped to a
+// sliver) with an explicit commit batch size: demotions reject at commit
+// time, so the event stream carries Full-flagged events — the outcomes
+// whose serial/pooled recording paths historically diverged easiest.
+func fallbackObsRun(t *testing.T, threads, batch int) (*Result, *obs.Mem, []byte) {
+	t.Helper()
+	wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+	m := standardMix(t, wl)
+	if err := m.SetCompressedTierLimit(mem.TierID(2), 32); err != nil {
+		t.Fatal(err)
+	}
+	var capture obs.Mem
+	var buf bytes.Buffer
+	stream := obs.NewStream(&buf)
+	cfg := Config{
+		Manager:      m,
+		Workload:     wl,
+		Model:        &model.Waterfall{Pct: 75},
+		OpsPerWindow: 4000,
+		Windows:      5,
+		SampleRate:   Int(20),
+		PushThreads:  Int(threads),
+		Recorder:     obs.Tee(&capture, stream),
+	}
+	if batch > 0 {
+		cfg.CommitBatch = Int(batch)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res, &capture, buf.Bytes()
+}
+
+// TestConcurrentObsStreamCommitBatch pins two things at once. First, the
+// serial and pooled traced paths finish every move through the same
+// finishMove helper, so their event streams are identical by construction
+// — exercised here with rejected (fallback) moves in the stream, the
+// events whose recording the two paths used to assemble separately.
+// Second, the page-granular commit pipeline must not perturb the stream:
+// the full JSONL byte stream and every captured move are identical at
+// PushThreads 1, 2 and 8 and at every commit batch size. Runs under -race
+// in CI (the Concurrent suite).
+func TestConcurrentObsStreamCommitBatch(t *testing.T) {
+	baseRes, baseCap, baseStream := fallbackObsRun(t, 1, 0)
+	rejected := 0
+	for _, ev := range baseCap.Moves {
+		rejected += ev.Rejected
+	}
+	if rejected == 0 {
+		t.Fatal("no rejected pages in the move stream; fallback pin is vacuous")
+	}
+	for _, threads := range []int{1, 2, 8} {
+		for _, batch := range []int{0, 4, 32} {
+			if threads == 1 && batch == 0 {
+				continue
+			}
+			res, cap, stream := fallbackObsRun(t, threads, batch)
+			if !reflect.DeepEqual(res, baseRes) {
+				t.Fatalf("PT=%d batch=%d Result differs from serial whole-region", threads, batch)
+			}
+			if !reflect.DeepEqual(cap.Moves, baseCap.Moves) {
+				t.Fatalf("PT=%d batch=%d move events differ", threads, batch)
+			}
+			if !bytes.Equal(stream, baseStream) {
+				t.Fatalf("PT=%d batch=%d JSONL stream is not byte-identical", threads, batch)
+			}
+		}
+	}
+}
+
+// TestConcurrentApplyTraceFullEvents drives applyMoves directly with a
+// plan engineered so some commits return ErrTierFull outright
+// (promotions into a bounded DRAM that is already over capacity): the
+// Full-flagged events are exactly the outcomes whose recording the serial
+// and pooled paths used to assemble separately. Both paths now finish
+// through finishMove, and the merged event stream must be identical at
+// every worker count and batch size — Full flags included. Runs under
+// -race in CI (the Concurrent suite).
+func TestConcurrentApplyTraceFullEvents(t *testing.T) {
+	collect := func(workers, batch int) []obs.MoveEvent {
+		wl := workload.Memcached(workload.DriverYCSB, 1024, 8*1024, 1)
+		m, err := mem.NewManager(mem.Config{
+			NumPages:          wl.NumPages(),
+			Content:           corpus.NewGenerator(wl.Content(), 99),
+			DRAMCapacityPages: wl.NumPages() / 4,
+			ByteTiers:         []media.Kind{media.NVMM},
+			CompressedTiers:   []ztier.Config{ztier.CT1(), ztier.CT2()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct1, ct2 := mem.TierID(2), mem.TierID(3)
+		if err := m.SetCompressedTierLimit(ct2, 64); err != nil {
+			t.Fatal(err)
+		}
+		// Setup wave (untraced, serial): spread regions across both CTs so
+		// the traced wave's cross-CT moves displace CT pages into a DRAM
+		// that is already over its bound.
+		var setup []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			dest := ct1
+			if r%2 == 1 {
+				dest = ct2
+			}
+			setup = append(setup, policy.Move{Region: mem.RegionID(r), Dest: dest})
+		}
+		if _, err := applyMoves(m, setup, 1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Promotions into the bounded, already-over-capacity DRAM: the
+		// commits that return ErrTierFull outright.
+		var moves []policy.Move
+		for r := int64(0); r < m.NumRegions(); r++ {
+			moves = append(moves, policy.Move{Region: mem.RegionID(r), Dest: mem.DRAMTier})
+		}
+		tr := newApplyTrace(1, workers)
+		if _, err := applyMoves(m, moves, workers, batch, tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr.shards.Merge()
+	}
+	base := collect(1, 0)
+	fulls := 0
+	for _, ev := range base {
+		if ev.Full {
+			fulls++
+		}
+	}
+	if fulls == 0 {
+		t.Fatal("plan produced no Full-flagged events; the serial/pool pin is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		for _, batch := range []int{0, 4} {
+			if got := collect(workers, batch); !reflect.DeepEqual(got, base) {
+				t.Fatalf("workers=%d batch=%d merged event stream differs from serial", workers, batch)
+			}
 		}
 	}
 }

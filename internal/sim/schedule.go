@@ -33,6 +33,12 @@
 //     write per-move results into a job-indexed array and sim.Run reduces
 //     it in index order after the pool drains, so floating-point addition
 //     order is fixed.
+//   - Page-granular commits refine, not weaken, the projection: when a
+//     job commits in sub-region chunks (mem.CommitBatch), a tier's stream
+//     is released early only once the job's last page touching that tier
+//     has committed (release), so the tier still sees its commits whole
+//     and in ascending job order; the job's remaining pages touch only
+//     tiers it still heads.
 //
 // Wakeups are targeted: completing a commit signals only the jobs it made
 // eligible. The old turnstile broadcast to every waiting worker on every
@@ -66,6 +72,7 @@ import (
 type commitScheduler struct {
 	mu       sync.Mutex
 	fps      []mem.TierSet
+	rem      []mem.TierSet   // per job: footprint tiers not yet released
 	streams  [][]int         // per tier: ascending job indexes whose footprint holds the tier
 	pos      []int           // per tier: committed prefix length of the stream
 	next     []int           // per job: same-region successor (-1 = none)
@@ -74,7 +81,9 @@ type commitScheduler struct {
 	waiter   []chan struct{} // per job: lazily made when a worker must block
 	wakeups  int             // eligibility signals issued
 	blocked  int             // awaits that actually blocked on a waiter channel
+	partial  int             // per-tier stream handoffs before the owning job finished
 	stallNs  atomic.Int64    // wall time spent blocked in await
+	batches  atomic.Int64    // sub-region commit chunks landed (engine-reported)
 
 	// tierWakeups attributes each job's final, eligibility-completing
 	// grant to the tier stream that issued it. Allocated only in traced
@@ -91,6 +100,7 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int, traced bool
 	n := len(fps)
 	s := &commitScheduler{
 		fps:      fps,
+		rem:      make([]mem.TierSet, n),
 		streams:  make([][]int, numTiers),
 		pos:      make([]int, numTiers),
 		next:     make([]int, n),
@@ -101,6 +111,7 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int, traced bool
 	if traced {
 		s.tierWakeups = make([]int, numTiers)
 	}
+	copy(s.rem, fps)
 	for i := range s.next {
 		s.next[i] = -1
 	}
@@ -132,18 +143,21 @@ func newCommitScheduler(numTiers int, fps []mem.TierSet, prev []int, traced bool
 	return s
 }
 
-// grantLocked records that one of job i's ordering resources reached it.
-// tier is the granting tier stream, or -1 for a region-chain grant; when
-// the grant completes the job's eligibility and tracing is on, the wakeup
-// is attributed to that tier's sequencer.
-func (s *commitScheduler) grantLocked(i, tier int) {
+// grantLocked records that one of job i's ordering resources reached it,
+// reporting whether the grant completed the job's eligibility. tier is
+// the granting tier stream, or -1 for a region-chain grant; when the
+// grant completes the job's eligibility and tracing is on, the wakeup is
+// attributed to that tier's sequencer.
+func (s *commitScheduler) grantLocked(i, tier int) bool {
 	s.pending[i]--
-	if s.pending[i] == 0 {
-		if s.tierWakeups != nil && tier >= 0 {
-			s.tierWakeups[tier]++
-		}
-		s.signalLocked(i)
+	if s.pending[i] != 0 {
+		return false
 	}
+	if s.tierWakeups != nil && tier >= 0 {
+		s.tierWakeups[tier]++
+	}
+	s.signalLocked(i)
+	return true
 }
 
 func (s *commitScheduler) signalLocked(i int) {
@@ -195,11 +209,13 @@ func (s *commitScheduler) Stats() obs.SchedulerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := obs.SchedulerStats{
-		Jobs:          len(s.pending),
-		Wakeups:       s.wakeups,
-		BlockedAwaits: s.blocked,
-		StallNs:       s.stallNs.Load(),
-		TierStreams:   make([]obs.TierStreamStats, len(s.streams)),
+		Jobs:            len(s.pending),
+		Wakeups:         s.wakeups,
+		BlockedAwaits:   s.blocked,
+		StallNs:         s.stallNs.Load(),
+		PartialReleases: s.partial,
+		BatchCommits:    s.batches.Load(),
+		TierStreams:     make([]obs.TierStreamStats, len(s.streams)),
 	}
 	for t, stream := range s.streams {
 		st.TierStreams[t].Jobs = len(stream)
@@ -210,21 +226,64 @@ func (s *commitScheduler) Stats() obs.SchedulerStats {
 	return st
 }
 
-// done releases job i's footprint: every tier stream it headed advances,
-// and only the jobs thereby made eligible are woken.
-func (s *commitScheduler) done(i int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for b := uint64(s.fps[i]); b != 0; b &= b - 1 {
+// releaseTiersLocked advances the streams of ts (which must be a subset
+// of rem[i]) past job i and grants the new heads. It returns the lowest
+// job the grants made eligible, or -1.
+func (s *commitScheduler) releaseTiersLocked(i int, ts mem.TierSet) int {
+	next := -1
+	for b := uint64(ts); b != 0; b &= b - 1 {
 		t := bits.TrailingZeros64(b)
 		s.pos[t]++
 		if s.pos[t] < len(s.streams[t]) {
-			s.grantLocked(s.streams[t][s.pos[t]], t)
+			j := s.streams[t][s.pos[t]]
+			if s.grantLocked(j, t) && (next < 0 || j < next) {
+				next = j
+			}
 		}
 	}
-	if s.next[i] >= 0 {
-		s.grantLocked(s.next[i], -1)
+	s.rem[i] = s.rem[i] &^ ts
+	return next
+}
+
+// release hands the streams of tiers job i has finished touching to their
+// successors while the job's remaining pages are still committing — the
+// page-granular early handoff. ts is intersected with the job's
+// unreleased footprint, so callers pass mem.CommitChunk.Released as-is.
+// Each handoff counts as a partial release. The per-tier serial
+// projection is preserved: tier t's stream advances only after every one
+// of job i's t-pages has committed, so t still observes its commits in
+// ascending job order.
+func (s *commitScheduler) release(i int, ts mem.TierSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts = ts & s.rem[i]
+	if ts == 0 {
+		return
 	}
+	s.partial += ts.Len()
+	s.releaseTiersLocked(i, ts)
+}
+
+// noteBatchCommits counts sub-region commit chunks the apply engine
+// landed, for SchedulerStats.BatchCommits.
+func (s *commitScheduler) noteBatchCommits(n int64) { s.batches.Add(n) }
+
+// done releases job i's remaining footprint — every tier stream it still
+// headed advances — plus its same-region chain grant; only the jobs
+// thereby made eligible are woken. It returns the lowest job index the
+// completion made eligible (-1 if none): that job is guaranteed ready to
+// commit, so the freed worker can claim it directly and same-tier
+// successors batch onto the worker whose completion unblocked them.
+func (s *commitScheduler) done(i int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.releaseTiersLocked(i, s.rem[i])
+	if s.next[i] >= 0 {
+		if s.grantLocked(s.next[i], -1) && (next < 0 || s.next[i] < next) {
+			next = s.next[i]
+		}
+	}
+	return next
 }
 
 // planFootprints computes each move's commit footprint and same-region
@@ -257,9 +316,13 @@ func planFootprints(m *mem.Manager, moves []policy.Move) ([]mem.TierSet, []int) 
 		}
 		if j, ok := last[mv.Region]; ok {
 			prev[i] = j
-			fp = fp.Union(fps[j]).Union(m.FaultFallbackSet())
-			if ordered.Contains(mv.Dest) {
-				fp = fp.With(mv.Dest)
+			// Chain widening is meaningless under full serialization: the
+			// artificial stream already orders everything.
+			if !serializeAll {
+				fp = fp.Union(fps[j]).Union(m.FaultFallbackSet())
+				if ordered.Contains(mv.Dest) {
+					fp = fp.With(mv.Dest)
+				}
 			}
 		}
 		fps[i] = fp

@@ -2,11 +2,15 @@ package sim
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
+	"tierscape/internal/corpus"
+	"tierscape/internal/media"
 	"tierscape/internal/mem"
 	"tierscape/internal/policy"
 	"tierscape/internal/workload"
+	"tierscape/internal/ztier"
 )
 
 func ts(ids ...mem.TierID) mem.TierSet {
@@ -205,9 +209,229 @@ func TestConcurrentApplyMovesPrepareError(t *testing.T) {
 			{Region: 1, Dest: mem.TierID(99)}, // no such tier
 			{Region: 2, Dest: mem.TierID(3)},
 		}
-		_, err := applyMoves(m, moves, workers, nil)
+		_, err := applyMoves(m, moves, workers, 0, nil)
 		if !errors.Is(err, mem.ErrNoSuchTier) {
 			t.Fatalf("workers=%d: err = %v, want ErrNoSuchTier", workers, err)
 		}
+	}
+}
+
+// TestConcurrentCommitSchedulerPartialRelease: the page-granular early
+// handoff. Job 0 holds {CT1, CT2}; releasing CT1 early must make the
+// job-1 CT1-successor eligible while the CT2-successor keeps waiting,
+// re-releasing must be a no-op, and done must hand over only the
+// remainder.
+func TestConcurrentCommitSchedulerPartialRelease(t *testing.T) {
+	ct1, ct2 := mem.TierID(2), mem.TierID(3)
+	fps := []mem.TierSet{ts(ct1, ct2), ts(ct1), ts(ct2)}
+	s := newCommitScheduler(4, fps, noPrev(3), false)
+	if !s.eligibleNow(0) || s.eligibleNow(1) || s.eligibleNow(2) {
+		t.Fatal("init: only job 0 may be eligible")
+	}
+	s.release(0, ts(ct1))
+	if !s.eligibleNow(1) {
+		t.Fatal("releasing CT1 early must unblock the CT1 successor")
+	}
+	if s.eligibleNow(2) {
+		t.Fatal("CT2 successor unblocked by a CT1 release")
+	}
+	s.release(0, ts(ct1)) // already released: must be a no-op
+	s.release(0, 0)       // empty set: must be a no-op
+	if got := s.Stats().PartialReleases; got != 1 {
+		t.Fatalf("PartialReleases = %d, want 1 (re-releases must not count)", got)
+	}
+	if next := s.done(0); next != 2 {
+		t.Fatalf("done(0) = %d, want 2 (the CT2 successor it just unblocked)", next)
+	}
+	if !s.eligibleNow(2) {
+		t.Fatal("CT2 successor must be eligible after done")
+	}
+}
+
+// TestConcurrentCommitSchedulerDoneSteal: done reports the lowest job a
+// completion made eligible — the direct-claim steal target — and -1 when
+// nothing became eligible.
+func TestConcurrentCommitSchedulerDoneSteal(t *testing.T) {
+	ct1, ct2 := mem.TierID(2), mem.TierID(3)
+	fps := []mem.TierSet{ts(ct1, ct2), ts(ct2), ts(ct1)}
+	s := newCommitScheduler(4, fps, noPrev(3), false)
+	// done(0) releases both streams; jobs 1 and 2 become eligible and the
+	// lowest (1) is the steal target.
+	if next := s.done(0); next != 1 {
+		t.Fatalf("done(0) = %d, want 1", next)
+	}
+	if next := s.done(1); next != -1 {
+		t.Fatalf("done(1) = %d, want -1 (job 2 was already eligible)", next)
+	}
+	if next := s.done(2); next != -1 {
+		t.Fatalf("done(2) = %d, want -1 (no successors)", next)
+	}
+	// A region-chain grant is a steal target too.
+	s2 := newCommitScheduler(4, []mem.TierSet{ts(ct1), ts(ct2)}, []int{-1, 0}, false)
+	if next := s2.done(0); next != 1 {
+		t.Fatalf("chain done(0) = %d, want 1", next)
+	}
+}
+
+// TestDispatchOrderTopological: the stall-aware dispatch permutation is
+// deterministic, complete, and topological — every job appears after its
+// stream predecessors and region predecessor.
+func TestDispatchOrderTopological(t *testing.T) {
+	ct1, ct2 := mem.TierID(2), mem.TierID(3)
+	fps := []mem.TierSet{ts(ct1), ts(ct1), ts(ct2), ts(ct1, ct2), 0, ts(ct2)}
+	prev := []int{-1, -1, -1, -1, -1, 2}
+	order := dispatchOrder(fps, prev)
+	pos := make([]int, len(fps))
+	seen := make([]bool, len(fps))
+	for k, i := range order {
+		if i < 0 || i >= len(fps) || seen[i] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[i] = true
+		pos[i] = k
+	}
+	// Stream predecessors: for each tier, jobs in ascending index order.
+	last := map[mem.TierID]int{}
+	for i, fp := range fps {
+		for _, tier := range []mem.TierID{ct1, ct2} {
+			if !fp.Contains(tier) {
+				continue
+			}
+			if j, ok := last[tier]; ok && pos[j] > pos[i] {
+				t.Fatalf("job %d dispatched before its tier-%d predecessor %d: %v", i, tier, j, order)
+			}
+			last[tier] = i
+		}
+		if j := prev[i]; j >= 0 && pos[j] > pos[i] {
+			t.Fatalf("job %d dispatched before its region predecessor %d: %v", i, j, order)
+		}
+	}
+	// Depth-0 jobs head the order: 0 and 2 (first in their streams), 4
+	// (empty footprint, primary tier 64 sorts it after contended jobs).
+	if want := []int{0, 2, 4}; !equalInts(order[:3], want) {
+		t.Fatalf("depth-0 prefix = %v, want %v", order[:3], want)
+	}
+}
+
+// TestConcurrentPlanFootprintsInvalidMove: an invalid move gets an empty
+// footprint — it fails identically at prepare time regardless of
+// scheduling, so it must be eligible immediately and impose no ordering
+// on valid moves.
+func TestConcurrentPlanFootprintsInvalidMove(t *testing.T) {
+	wl := workload.Memcached(workload.DriverYCSB, 1024, 4*mem.RegionPages, 1)
+	m := standardMix(t, wl)
+	moves := []policy.Move{
+		{Region: 0, Dest: mem.TierID(2)},
+		{Region: 1, Dest: mem.TierID(99)}, // no such tier
+		{Region: 2, Dest: mem.TierID(2)},
+	}
+	fps, prev := planFootprints(m, moves)
+	if fps[1] != 0 {
+		t.Fatalf("invalid move footprint = %b, want empty", fps[1])
+	}
+	s := newCommitScheduler(len(m.Tiers()), fps, prev, false)
+	if !s.eligibleNow(1) {
+		t.Fatal("invalid move must commit (fail) immediately, not wait in a stream")
+	}
+	if s.eligibleNow(2) {
+		t.Fatal("job 2 shares CT1 with job 0 and must wait — the invalid move must not have consumed a stream slot")
+	}
+}
+
+// TestConcurrentPlanFootprintsEmptyPredecessor: a region chain whose
+// first move is skip-only (empty footprint) still orders the second move
+// behind it via the predecessor edge, and the successor's footprint is
+// widened with the fallback coupling set.
+func TestConcurrentPlanFootprintsEmptyPredecessor(t *testing.T) {
+	wl := workload.Memcached(workload.DriverYCSB, 1024, 4*mem.RegionPages, 1)
+	m := standardMix(t, wl)
+	moves := []policy.Move{
+		{Region: 0, Dest: mem.DRAMTier}, // all-DRAM region: skip-only, empty fp
+		{Region: 0, Dest: mem.TierID(2)},
+	}
+	fps, prev := planFootprints(m, moves)
+	if fps[0] != 0 {
+		t.Fatalf("skip-only footprint = %b, want empty", fps[0])
+	}
+	if prev[1] != 0 {
+		t.Fatalf("prev[1] = %d, want 0", prev[1])
+	}
+	want := ts(mem.TierID(2)).Union(m.FaultFallbackSet())
+	if fps[1] != want {
+		t.Fatalf("chained footprint = %b, want %b", fps[1], want)
+	}
+	s := newCommitScheduler(len(m.Tiers()), fps, prev, false)
+	if !s.eligibleNow(0) {
+		t.Fatal("empty-footprint head must be eligible")
+	}
+	if s.eligibleNow(1) {
+		t.Fatal("chained move must wait for its empty-footprint predecessor")
+	}
+	if next := s.done(0); next != 1 || !s.eligibleNow(1) {
+		t.Fatalf("done(0) = %d and eligible(1) = %v; want the chain grant to flow", next, s.eligibleNow(1))
+	}
+}
+
+// TestConcurrentPlanFootprintsManyTiers: beyond TierSet's 64-tier limit
+// the analysis degrades to full serialization — every job shares one
+// artificial DRAM stream, region chains are still tracked, and the apply
+// engine must therefore also refuse sub-region batching (its Released
+// masks carry real per-page footprints the artificial stream knows
+// nothing about). The end-to-end half of the guarantee is that a batched
+// parallel apply on a >64-tier manager still matches a serial one.
+func TestConcurrentPlanFootprintsManyTiers(t *testing.T) {
+	build := func() *mem.Manager {
+		t.Helper()
+		cts := make([]ztier.Config, 63) // 2 BA + 63 CTs = 65 tiers
+		for i := range cts {
+			cts[i] = ztier.CT1()
+		}
+		m, err := mem.NewManager(mem.Config{
+			NumPages:        4 * mem.RegionPages,
+			Content:         corpus.NewGenerator(corpus.Dickens, 7),
+			ByteTiers:       []media.Kind{media.NVMM},
+			CompressedTiers: cts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := build()
+	if got := len(m.Tiers()); got != 65 {
+		t.Fatalf("built %d tiers, want 65", got)
+	}
+	moves := []policy.Move{
+		{Region: 0, Dest: mem.TierID(2)},
+		{Region: 1, Dest: mem.TierID(64)},
+		{Region: 0, Dest: mem.TierID(3)},
+	}
+	fps, prev := planFootprints(m, moves)
+	want := mem.TierSet(0).With(mem.DRAMTier)
+	for i, fp := range fps {
+		if fp != want {
+			t.Fatalf("fps[%d] = %b, want the shared serialization stream %b", i, fp, want)
+		}
+	}
+	if wantPrev := []int{-1, -1, 0}; !equalInts(prev, wantPrev) {
+		t.Fatalf("prev = %v, want %v", prev, wantPrev)
+	}
+	s := newCommitScheduler(len(m.Tiers()), fps, prev, false)
+	if !s.eligibleNow(0) || s.eligibleNow(1) || s.eligibleNow(2) {
+		t.Fatal("shared stream must admit only job 0 at init")
+	}
+	// End to end: a batched, parallel apply on an identically built
+	// manager must match the serial whole-region apply byte for byte —
+	// the engine silently disables batching above 64 tiers.
+	serial, err := applyMoves(build(), moves, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := applyMoves(m, moves, 3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Fatalf("batched >64-tier apply diverged: %+v vs %+v", batched, serial)
 	}
 }
