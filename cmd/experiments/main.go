@@ -63,13 +63,14 @@ func main() {
 			}()
 		}
 	}
+	var eventsFile *os.File
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "events file: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		eventsFile = f
 		experiments.SetEventSink(f)
 	}
 
@@ -131,6 +132,16 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown exhibit %q\n", *fig)
 		os.Exit(2)
+	}
+	// The engine latches per-job stream errors and surfaces them as
+	// exhibit failures above; a close failure here is the last way a
+	// truncated event file could slip through, so it is fatal too.
+	if eventsFile != nil {
+		experiments.SetEventSink(nil)
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing events file: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

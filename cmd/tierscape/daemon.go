@@ -78,6 +78,7 @@ type daemonOpts struct {
 	configPath  string
 	tick        time.Duration
 	metricsAddr string
+	health      obs.HealthConfig
 	defaults    specDefaults
 }
 
@@ -240,14 +241,19 @@ func runDaemonMode(o daemonOpts) int {
 	dh := daemon.NewHandler(d, hc)
 	mux.Handle("/command", dh)
 	mux.Handle("/status", dh)
+	// The daemon's /healthz uses the flag-configured thresholds; the
+	// exact-path registration wins over the obs.Handler default mounted
+	// under "/".
+	mux.Handle("/healthz", obs.NewHealth(live, o.health))
 	mux.Handle("/", obs.Handler(live))
 	ln, err := net.Listen("tcp", o.metricsAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "daemon listener: %v\n", err)
 		return 1
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	fmt.Fprintf(os.Stderr, "daemon: tick %v, max %d workloads, commands at http://%s/command (also /status, /metrics)\n",
+	srv := obs.NewServer(mux)
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "daemon: tick %v, max %d workloads, commands at http://%s/command (also /status, /metrics, /healthz)\n",
 		dcfg.TickEvery, dcfg.MaxWorkloads, ln.Addr())
 
 	sigs := make(chan os.Signal, 1)

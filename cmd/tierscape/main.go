@@ -23,6 +23,7 @@ import (
 	"tierscape"
 	"tierscape/internal/media"
 	"tierscape/internal/mem"
+	"tierscape/internal/obs"
 	"tierscape/internal/trace"
 	"tierscape/internal/ztier"
 )
@@ -51,6 +52,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090)")
 	metricsHold := flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the run finishes")
 	events := flag.String("events", "", "write the run's deterministic JSONL event stream to this file")
+	windowsCSV := flag.String("windows-csv", "", "write per-window snapshots as CSV rows to this file (deterministic channel)")
+	healthPressure := flag.Float64("health-max-pressure", 0.25, "healthz: degrade when the last window's PSI-style stall fraction exceeds this (0 disables)")
+	healthThrash := flag.Int("health-max-thrash", 64, "healthz: degrade when regions over the ping-pong thrash threshold exceed this (0 disables)")
+	healthStorm := flag.Float64("health-max-storm-bps", float64(8<<30), "healthz: degrade when the last window's migration traffic rate exceeds this many bytes/sec (0 disables)")
+	healthFallback := flag.Float64("health-max-fallback-rate", 0.5, "healthz: degrade when cumulative solver fallbacks per window exceed this (0 disables)")
 	showTrace := flag.Bool("trace", false, "print the per-window span trace (phase wall times, prepare/commit split, scheduler stalls)")
 	daemonMode := flag.Bool("daemon", false, "run as a resident tiering daemon: workloads attach/detach at runtime via POST /command on -metrics-addr (required); other flags become attach-spec defaults")
 	daemonConfigPath := flag.String("daemon-config", "", "daemon config JSON file ({\"tick_every\":\"1s\",\"max_workloads\":8}); re-read by the reload command")
@@ -62,6 +68,12 @@ func main() {
 			configPath:  *daemonConfigPath,
 			tick:        *tick,
 			metricsAddr: *metricsAddr,
+			health: obs.HealthConfig{
+				MaxPressure:         *healthPressure,
+				MaxThrashRegions:    *healthThrash,
+				MaxStormBytesPerSec: *healthStorm,
+				MaxFallbackRate:     *healthFallback,
+			},
 			defaults: specDefaults{
 				Workload:      *workloadName,
 				Model:         *modelName,
@@ -155,15 +167,28 @@ func main() {
 		}
 	}
 	var stream *tierscape.EventStream
+	var eventsFile *os.File
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "events file: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		eventsFile = f
 		stream = tierscape.NewEventStream(f)
 		recs = append(recs, stream)
+	}
+	var windowCSV *obs.CSVWriter
+	var windowCSVFile *os.File
+	if *windowsCSV != "" {
+		f, err := os.Create(*windowsCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "windows-csv file: %v\n", err)
+			os.Exit(1)
+		}
+		windowCSVFile = f
+		windowCSV = tierscape.NewWindowCSV(f)
+		recs = append(recs, windowCSV)
 	}
 	var capture *tierscape.MetricsRecorder
 	if *showTrace {
@@ -215,12 +240,30 @@ func main() {
 	fmt.Printf("TCO: max %.4f  avg %.4f  final %.4f   time-averaged savings %.2f%%\n",
 		res.TCOMax, res.AvgTCO, res.FinalTCO, res.SavingsPct())
 
+	// Sinks latch their first write error; surface it (and any close
+	// error) as a nonzero exit instead of leaving a silently truncated
+	// file behind.
 	if stream != nil {
 		if err := stream.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "event stream: %v\n", err)
 			os.Exit(1)
 		}
+		if err := eventsFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing events file: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("events written to %s\n", *events)
+	}
+	if windowCSV != nil {
+		if err := windowCSV.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "windows CSV: %v\n", err)
+			os.Exit(1)
+		}
+		if err := windowCSVFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "closing windows CSV: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("window snapshots written to %s\n", *windowsCSV)
 	}
 	if capture != nil {
 		printTrace(capture)

@@ -1,11 +1,15 @@
-// Command tracetool records and inspects access traces.
+// Command tracetool records and inspects access traces and converts
+// observability event streams.
 //
 //	tracetool -record t.trace -workload memcached-ycsb -ops 100000
 //	tracetool -stat t.trace
+//	tracetool -chrome run.json -events run.jsonl
 //
 // -stat prints the trace header, op/access counts, read/write mix, and a
 // per-region hotness histogram — the offline view of what the PEBS
-// profiler would see.
+// profiler would see. -chrome converts a deterministic JSONL event
+// stream (tierscape -events, experiments -events) to Chrome trace-event
+// JSON for Perfetto / chrome://tracing.
 package main
 
 import (
@@ -28,9 +32,20 @@ func main() {
 	pages := flag.Int64("pages", 16*tierscape.RegionPages, "workload footprint in pages")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	top := flag.Int("top", 10, "hottest regions to list in -stat")
+	chromePath := flag.String("chrome", "", "Chrome trace-event JSON file to write (needs -events)")
+	eventsPath := flag.String("events", "", "JSONL event stream to convert with -chrome")
 	flag.Parse()
 
 	switch {
+	case *chromePath != "":
+		if *eventsPath == "" {
+			fmt.Fprintln(os.Stderr, "-chrome needs -events FILE (a JSONL stream from tierscape -events or experiments -events)")
+			os.Exit(2)
+		}
+		if err := exportChrome(*eventsPath, *chromePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *statPath != "":
 		if err := stat(*statPath, *top); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -42,7 +57,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "need -stat FILE or -record FILE")
+		fmt.Fprintln(os.Stderr, "need -stat FILE, -record FILE, or -chrome FILE -events FILE")
 		os.Exit(2)
 	}
 }

@@ -40,7 +40,10 @@ func (c *CSVWriter) RecordWindow(ws WindowSnapshot) {
 			"moves", "rejected", "skipped", "tier_full_moves",
 			"compacted_pages", "compact_objects_moved",
 			"compact_skipped_tiers", "dropped_pressure", "dropped_capacity",
-			"dropped_budget",
+			"dropped_budget", "pressure", "fault_stall_ns",
+			"interference_ns", "lat_p50_ns", "lat_p95_ns", "lat_p99_ns",
+			"lat_p999_ns", "pingpong_moves", "thrash_regions",
+			"thrash_score", "migrated_bytes", "storm_bytes_per_sec",
 		}
 		for t := 0; t < tiers; t++ {
 			cols = append(cols,
@@ -62,6 +65,11 @@ func (c *CSVWriter) RecordWindow(ws WindowSnapshot) {
 		strconv.Itoa(ws.CompactedPages), strconv.Itoa(ws.CompactObjectsMoved),
 		strconv.Itoa(ws.CompactSkippedTiers), strconv.Itoa(ws.DroppedPressure),
 		strconv.Itoa(ws.DroppedCapacity), strconv.Itoa(ws.DroppedBudget),
+		g(ws.Pressure), g(ws.FaultStallNs), g(ws.InterferenceNs),
+		g(ws.Latency.P50Ns), g(ws.Latency.P95Ns), g(ws.Latency.P99Ns),
+		g(ws.Latency.P999Ns), strconv.Itoa(ws.PingPongMoves),
+		strconv.Itoa(ws.ThrashRegions), g(ws.ThrashScore),
+		strconv.FormatInt(ws.MigratedBytes, 10), g(ws.StormBytesPerSec),
 	}
 	for t := 0; t < tiers; t++ {
 		cols = append(cols,

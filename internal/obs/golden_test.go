@@ -30,6 +30,19 @@ func goldenLive() *Live {
 		Faults: 12, Moves: 150, Rejected: 4, Skipped: 9, TierFullMoves: 1,
 		CompactedPages: 3, CompactObjectsMoved: 17, CompactSkippedTiers: 1,
 		DroppedPressure: 2, DroppedCapacity: 1, DroppedBudget: 3,
+		Latency: LatencySummary{Count: 1200, SumNs: 3.6e6, P50Ns: 128, P95Ns: 4096, P99Ns: 8192, P999Ns: 16384},
+		TierLatency: []LatencySummary{
+			{Count: 1000, SumNs: 1e5, P50Ns: 128, P95Ns: 128, P99Ns: 256, P999Ns: 256,
+				Buckets: []HistBucket{{B: 7, N: 980}, {B: 8, N: 20}}},
+			{},
+			{Count: 200, SumNs: 3.5e6, P50Ns: 16384, P95Ns: 32768, P99Ns: 32768, P999Ns: 32768,
+				Buckets: []HistBucket{{B: 14, N: 150}, {B: 15, N: 50}}},
+			{},
+		},
+		FaultStallNs: 2.4e5, InterferenceNs: 5e6, Pressure: 0.0035,
+		TierStallNs:   []float64{0, 0, 2.4e5, 0},
+		PingPongMoves: 3, ThrashRegions: 1, ThrashScore: 2.5,
+		MigratedBytes: 630784, StormBytesPerSec: 420522.7,
 	})
 	l.RecordWindow(WindowSnapshot{
 		Window: 2, AppNs: 1.25e9, DaemonNs: 1.5e8, SolverNs: 5e7,
@@ -41,6 +54,20 @@ func goldenLive() *Live {
 		Faults:     30, Moves: 64, Rejected: 2, Skipped: 1,
 		WarmHit: true, ClassesReused: 14, ClassesRebuilt: 2,
 		SolverRebuildNs: 1e7, SolverRepairNs: 4e7, SolverFallbacks: 1,
+		Latency: LatencySummary{Count: 900, SumNs: 2.2e6, P50Ns: 128, P95Ns: 2048, P99Ns: 8192, P999Ns: 8192},
+		TierLatency: []LatencySummary{
+			{Count: 800, SumNs: 9e4, P50Ns: 128, P95Ns: 128, P99Ns: 128, P999Ns: 256,
+				Buckets: []HistBucket{{B: 7, N: 795}, {B: 8, N: 5}}},
+			{},
+			{Count: 60, SumNs: 1e6, P50Ns: 16384, P95Ns: 32768, P99Ns: 32768, P999Ns: 32768,
+				Buckets: []HistBucket{{B: 14, N: 40}, {B: 15, N: 20}}},
+			{Count: 40, SumNs: 1.1e6, P50Ns: 32768, P95Ns: 32768, P99Ns: 32768, P999Ns: 32768,
+				Buckets: []HistBucket{{B: 15, N: 40}}},
+		},
+		FaultStallNs: 1.8e5, InterferenceNs: 3e6, Pressure: 0.002544,
+		TierStallNs:   []float64{0, 0, 1.2e5, 6e4},
+		PingPongMoves: 1, ThrashRegions: 0, ThrashScore: 1.25,
+		MigratedBytes: 270336, StormBytesPerSec: 216268.8,
 	})
 	l.RecordRuntime(WindowRuntime{
 		Window:        2,
@@ -57,6 +84,10 @@ func goldenLive() *Live {
 	l.AddDaemonCommand("attach", true)
 	l.AddDaemonCommand("detach", false)
 	l.AddDaemonCommand("set-alpha", true)
+	// Health surface: one degradation and one recovery so both
+	// transition counters are non-zero in the golden.
+	l.setHealth(true)
+	l.setHealth(false)
 	return l
 }
 
@@ -95,6 +126,13 @@ func TestPrometheusGolden(t *testing.T) {
 		"\ntierscape_daemon_ticks_total ",
 		"\ntierscape_daemon_attached_workloads ",
 		"tierscape_daemon_commands_total{op=\"attach\",outcome=\"ok\"} 2",
+		"tierscape_access_latency_seconds_bucket{tier=\"0\",le=\"+Inf\"} ",
+		"\ntierscape_access_latency_seconds_count{tier=\"0\"} ",
+		"tierscape_pressure_stall_seconds_total{kind=\"fault\"} ",
+		"\ntierscape_health_state ",
+		"tierscape_health_transitions_total{to=\"degraded\"} 1",
+		"\ntierscape_pingpong_moves_total ",
+		"\ntierscape_storm_bytes_per_sec ",
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(series)) {
 			t.Errorf("exposition lost series %q", series)

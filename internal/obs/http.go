@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WritePrometheus renders the aggregator's state in the Prometheus text
@@ -46,6 +47,18 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("solver_classes_reused_total", "MCKP classes reused from the warm-start cache.", s.classesReused)
 	counter("solver_classes_rebuilt_total", "MCKP classes rebuilt after drifting beyond epsilon.", s.classesRebuilt)
 	counter("solver_fallbacks_total", "Infeasible primary solutions replaced by the DP/min-weight fallback.", s.solverFallbacks)
+	counter("pingpong_moves_total", "Applied region moves that reversed the region's previous direction (thrash signal).", s.pingPongMoves)
+	counter("migrated_bytes_total", "Migration traffic pushed over the media: (moved + rejected pages) x page size.", s.migratedBytes)
+	counter("pressure_stall_seconds_total{kind=\"fault\"}", "Application virtual time stalled, by cause (PSI-style).", s.faultStallNs/1e9)
+	counter("pressure_stall_seconds_total{kind=\"interference\"}", "Application virtual time stalled, by cause (PSI-style).", s.interferenceNs/1e9)
+	if len(s.tierStallNs) > 0 {
+		p("# HELP tierscape_tier_stall_seconds_total Fault-stall virtual time by serving tier.\n")
+		p("# TYPE tierscape_tier_stall_seconds_total counter\n")
+		for t, ns := range s.tierStallNs {
+			p("tierscape_tier_stall_seconds_total{tier=%q} %v\n", strconv.Itoa(t), ns/1e9)
+		}
+	}
+	writeLatencyHistogram(p, s.latency)
 
 	p("# HELP tierscape_phase_wall_seconds_total Wall time per control-loop phase.\n")
 	p("# TYPE tierscape_phase_wall_seconds_total counter\n")
@@ -59,6 +72,20 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 	counter("sched_stall_seconds_total", "Wall time workers spent blocked in commit await.", float64(s.stallNs)/1e9)
 	counter("sched_partial_releases_total", "Tier streams handed to a successor before the owning job finished committing.", s.partialReleases)
 	counter("sched_batch_commits_total", "Sub-region commit chunks landed by the page-granular commit pipeline.", s.batchCommits)
+
+	// Health surface: always emitted (the evaluator defaults to ok) so
+	// scrapers can alert on tierscape_health_state without presence
+	// checks.
+	health := 1
+	if s.healthDegraded {
+		health = 0
+	}
+	p("# HELP tierscape_health_state Health evaluator state (1 = ok, 0 = degraded).\n")
+	p("# TYPE tierscape_health_state gauge\ntierscape_health_state %d\n", health)
+	p("# HELP tierscape_health_transitions_total Health state transitions, by target state.\n")
+	p("# TYPE tierscape_health_transitions_total counter\n")
+	p("tierscape_health_transitions_total{to=\"ok\"} %d\n", s.healthTransitions["ok"])
+	p("tierscape_health_transitions_total{to=\"degraded\"} %d\n", s.healthTransitions["degraded"])
 
 	// Daemon surface: always emitted (zero outside daemon mode) so
 	// scrapers and the CI smoke can rely on the series existing.
@@ -101,8 +128,54 @@ func (l *Live) WritePrometheus(w io.Writer) error {
 		p("# TYPE tierscape_tco gauge\ntierscape_tco %v\n", s.last.TCO)
 		p("# HELP tierscape_faults_total Cumulative compressed-tier faults of the last recorded run.\n")
 		p("# TYPE tierscape_faults_total gauge\ntierscape_faults_total %d\n", s.last.Faults)
+		p("# HELP tierscape_pressure PSI-style some-stall fraction of the last window.\n")
+		p("# TYPE tierscape_pressure gauge\ntierscape_pressure %v\n", s.last.Pressure)
+		p("# HELP tierscape_thrash_regions Regions over the ping-pong thrash threshold at the last window.\n")
+		p("# TYPE tierscape_thrash_regions gauge\ntierscape_thrash_regions %d\n", s.last.ThrashRegions)
+		p("# HELP tierscape_thrash_score Sum of decayed per-region ping-pong scores at the last window.\n")
+		p("# TYPE tierscape_thrash_score gauge\ntierscape_thrash_score %v\n", s.last.ThrashScore)
+		p("# HELP tierscape_storm_bytes_per_sec Migration traffic rate of the last window (storm gauge).\n")
+		p("# TYPE tierscape_storm_bytes_per_sec gauge\ntierscape_storm_bytes_per_sec %v\n", s.last.StormBytesPerSec)
 	}
 	return err
+}
+
+// writeLatencyHistogram renders the per-tier access-latency histograms as
+// classic Prometheus histogram series with the fixed log₂ bucket
+// boundaries (le in seconds). Tiers that never served an access are
+// skipped; a tier that has is rendered with its full fixed bucket set so
+// the series are stable across scrapes.
+func writeLatencyHistogram(p func(format string, args ...any), latency []tierLatency) {
+	nonEmpty := false
+	for t := range latency {
+		if latency[t].count > 0 {
+			nonEmpty = true
+			break
+		}
+	}
+	if !nonEmpty {
+		return
+	}
+	p("# HELP tierscape_access_latency_seconds Modeled per-access latency by serving tier.\n")
+	p("# TYPE tierscape_access_latency_seconds histogram\n")
+	for t := range latency {
+		acc := &latency[t]
+		if acc.count == 0 {
+			continue
+		}
+		tier := strconv.Itoa(t)
+		var cum int64
+		// The last bucket is the overflow; it has no finite bound and is
+		// covered by the +Inf series.
+		for b := 0; b < NumLatencyBuckets-1; b++ {
+			cum += acc.buckets[b]
+			le := strconv.FormatFloat(float64(uint64(1)<<uint(b))/1e9, 'g', -1, 64)
+			p("tierscape_access_latency_seconds_bucket{tier=%q,le=%q} %d\n", tier, le, cum)
+		}
+		p("tierscape_access_latency_seconds_bucket{tier=%q,le=\"+Inf\"} %d\n", tier, acc.count)
+		p("tierscape_access_latency_seconds_sum{tier=%q} %v\n", tier, acc.sumNs/1e9)
+		p("tierscape_access_latency_seconds_count{tier=%q} %d\n", tier, acc.count)
+	}
 }
 
 // expvar.Publish is global and permanent, so the "tierscape" variable is
@@ -131,8 +204,14 @@ func (l *Live) PublishExpvar() {
 // Handler returns the live-introspection mux over l:
 //
 //	/metrics        Prometheus text exposition
+//	/healthz        threshold health report (200 ok / 503 degraded)
 //	/debug/vars     expvar JSON (includes the "tierscape" variable)
 //	/debug/pprof/*  the net/http/pprof suite
+//
+// The health evaluator uses DefaultHealthConfig; servers that want
+// custom thresholds (the resident daemon does) mount their own
+// NewHealth handler at /healthz on a wrapping mux — the more specific
+// pattern wins.
 func Handler(l *Live) http.Handler {
 	l.PublishExpvar()
 	mux := http.NewServeMux()
@@ -140,6 +219,7 @@ func Handler(l *Live) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = l.WritePrometheus(w)
 	})
+	mux.Handle("/healthz", NewHealth(l, DefaultHealthConfig()))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -157,7 +237,20 @@ func Serve(addr string, l *Live) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(l)}
+	srv := NewServer(Handler(l))
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), nil
+}
+
+// NewServer wraps h in an http.Server with the introspection endpoints'
+// standard timeouts: a header-read deadline against slowloris clients
+// and an idle deadline to shed dead keep-alives. No write timeout — the
+// pprof profile and trace endpoints legitimately stream for 30 s or
+// more.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

@@ -24,6 +24,20 @@ type Live struct {
 	warmHits, classesReused, classesRebuilt int64
 	solverFallbacks                         int64
 
+	// Pressure and detector counters (deterministic channel).
+	faultStallNs, interferenceNs float64
+	tierStallNs                  []float64
+	pingPongMoves, migratedBytes int64
+
+	// Per-tier latency histogram accumulation, indexed by serving tier.
+	latency []tierLatency
+
+	// Health surface: the /healthz evaluator's current state (true = ok)
+	// and its ok/degraded transition counters. Healthy until an evaluator
+	// reports otherwise.
+	healthDegraded    bool
+	healthTransitions map[string]int64
+
 	// Runtime counters (wall clock; only Live sees these).
 	phaseNs             [NumPhases]float64
 	prepareNs, commitNs float64
@@ -53,11 +67,42 @@ type commandOutcomes struct {
 	OK, Err int64
 }
 
+// NumLatencyBuckets is the dense width of the access-latency histograms
+// Live accumulates: one slot per log₂ bucket index a LatencySummary may
+// carry. It must equal stats.NumLogBuckets (obs imports nothing from the
+// module, so the constant is mirrored here and pinned by a sim test).
+const NumLatencyBuckets = 42
+
+// tierLatency is one serving tier's accumulated latency histogram.
+type tierLatency struct {
+	buckets [NumLatencyBuckets]int64
+	count   int64
+	sumNs   float64
+}
+
 // NewLive returns an empty aggregator.
 func NewLive() *Live {
 	return &Live{
-		flows:          make(map[[2]int]*TierFlow),
-		daemonCommands: make(map[string]*commandOutcomes),
+		flows:             make(map[[2]int]*TierFlow),
+		daemonCommands:    make(map[string]*commandOutcomes),
+		healthTransitions: make(map[string]int64),
+	}
+}
+
+// setHealth records the /healthz evaluator's state, counting a
+// transition (by target state) whenever it changes. The first degraded
+// report after startup counts as an ok→degraded transition.
+func (l *Live) setHealth(degraded bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if degraded == l.healthDegraded {
+		return
+	}
+	l.healthDegraded = degraded
+	if degraded {
+		l.healthTransitions["degraded"]++
+	} else {
+		l.healthTransitions["ok"]++
 	}
 }
 
@@ -117,6 +162,32 @@ func (l *Live) RecordWindow(w WindowSnapshot) {
 	l.classesReused += int64(w.ClassesReused)
 	l.classesRebuilt += int64(w.ClassesRebuilt)
 	l.solverFallbacks += int64(w.SolverFallbacks)
+	l.faultStallNs += w.FaultStallNs
+	l.interferenceNs += w.InterferenceNs
+	l.pingPongMoves += int64(w.PingPongMoves)
+	l.migratedBytes += w.MigratedBytes
+	for t, ns := range w.TierStallNs {
+		for len(l.tierStallNs) <= t {
+			l.tierStallNs = append(l.tierStallNs, 0)
+		}
+		l.tierStallNs[t] += ns
+	}
+	for t, ls := range w.TierLatency {
+		if ls.Count == 0 {
+			continue
+		}
+		for len(l.latency) <= t {
+			l.latency = append(l.latency, tierLatency{})
+		}
+		acc := &l.latency[t]
+		acc.count += ls.Count
+		acc.sumNs += ls.SumNs
+		for _, b := range ls.Buckets {
+			if b.B >= 0 && b.B < NumLatencyBuckets {
+				acc.buckets[b.B] += b.N
+			}
+		}
+	}
 	for _, f := range w.Migrations {
 		k := [2]int{f.From, f.To}
 		c, ok := l.flows[k]
@@ -161,6 +232,12 @@ type liveSnapshot struct {
 	appNs, daemonNs, solverNs                        float64
 	warmHits, classesReused, classesRebuilt          int64
 	solverFallbacks                                  int64
+	faultStallNs, interferenceNs                     float64
+	tierStallNs                                      []float64
+	pingPongMoves, migratedBytes                     int64
+	latency                                          []tierLatency
+	healthDegraded                                   bool
+	healthTransitions                                map[string]int64
 	phaseNs                                          [NumPhases]float64
 	prepareNs, commitNs                              float64
 	wakeups, blocked, stallNs                        int64
@@ -193,6 +270,15 @@ func (l *Live) snapshot() liveSnapshot {
 		appNs:         l.appNs, daemonNs: l.daemonNs, solverNs: l.solverNs,
 		warmHits: l.warmHits, classesReused: l.classesReused,
 		classesRebuilt: l.classesRebuilt, solverFallbacks: l.solverFallbacks,
+		faultStallNs: l.faultStallNs, interferenceNs: l.interferenceNs,
+		tierStallNs:   append([]float64(nil), l.tierStallNs...),
+		pingPongMoves: l.pingPongMoves, migratedBytes: l.migratedBytes,
+		latency:        append([]tierLatency(nil), l.latency...),
+		healthDegraded: l.healthDegraded,
+		healthTransitions: map[string]int64{
+			"ok":       l.healthTransitions["ok"],
+			"degraded": l.healthTransitions["degraded"],
+		},
 		phaseNs:   l.phaseNs,
 		prepareNs: l.prepareNs, commitNs: l.commitNs,
 		wakeups: l.wakeups, blocked: l.blocked, stallNs: l.stallNs,
@@ -245,6 +331,13 @@ func (l *Live) Vars() any {
 		"classes_reused":         s.classesReused,
 		"classes_rebuilt":        s.classesRebuilt,
 		"solver_fallbacks":       s.solverFallbacks,
+		"fault_stall_ns":         s.faultStallNs,
+		"interference_ns":        s.interferenceNs,
+		"tier_stall_ns":          s.tierStallNs,
+		"pingpong_moves":         s.pingPongMoves,
+		"migrated_bytes":         s.migratedBytes,
+		"health_degraded":        s.healthDegraded,
+		"health_transitions":     s.healthTransitions,
 		"phase_wall_ns":          phases,
 		"prepare_wall_ns":        s.prepareNs,
 		"commit_wall_ns":         s.commitNs,

@@ -140,6 +140,76 @@ type WindowSnapshot struct {
 	// SolverFallbacks counts solves whose primary solution was over
 	// budget and was replaced by the DP/min-weight fallback.
 	SolverFallbacks int `json:",omitempty"`
+	// Latency summarizes every modeled access latency of this window
+	// (all tiers merged). Quantiles are quantized to the fixed log₂
+	// bucket boundaries (stats.LogHist), so they are deterministic at
+	// every PushThreads; the aggregate carries no bucket list — the
+	// per-tier summaries in TierLatency do.
+	Latency LatencySummary
+	// TierLatency holds one latency summary per serving tier (indexed by
+	// TierID, the tier that served the access — faults are attributed to
+	// the compressed tier that faulted, not to DRAM after promotion).
+	TierLatency []LatencySummary `json:",omitempty"`
+	// FaultStallNs is application virtual time this window spent stalled
+	// on compressed-tier faults (the full modeled fault latency).
+	FaultStallNs float64 `json:",omitempty"`
+	// InterferenceNs is application virtual time this window lost to
+	// daemon interference (the configured fraction of solver, profiling,
+	// migration, compaction and prefetch work charged to the app clock).
+	InterferenceNs float64 `json:",omitempty"`
+	// Pressure is the PSI-style some-stall fraction of this window:
+	// (FaultStallNs + InterferenceNs) / AppNs, in [0,1).
+	Pressure float64 `json:",omitempty"`
+	// TierStallNs is fault-stall virtual time by serving tier (indexed by
+	// TierID); omitted when the window had no fault stalls.
+	TierStallNs []float64 `json:",omitempty"`
+	// PingPongMoves counts this window's applied region moves that
+	// reversed the region's previous move direction (promote after
+	// demote or vice versa) — the Jenga-style thrash signal.
+	PingPongMoves int `json:",omitempty"`
+	// ThrashRegions is how many regions' decayed ping-pong scores
+	// currently exceed the thrash threshold (score halves each window, a
+	// direction flip adds one; threshold 1.5 ≈ flips in two recent
+	// windows). ThrashScore is the sum of all live scores — exact at
+	// every PushThreads because scores are dyadic rationals.
+	ThrashRegions int     `json:",omitempty"`
+	ThrashScore   float64 `json:",omitempty"`
+	// MigratedBytes is the migration traffic this window pushed over the
+	// media: (moved + rejected pages) × page size. StormBytesPerSec is
+	// that traffic over the window's application virtual time — the
+	// TierBPF-style migration-storm gauge.
+	MigratedBytes    int64   `json:",omitempty"`
+	StormBytesPerSec float64 `json:",omitempty"`
+}
+
+// LatencySummary is a deterministic digest of one window's modeled access
+// latencies: count, sum and log₂-bucket-quantized percentiles, plus the
+// sparse bucket list when attached per tier. All values derive from
+// fixed-boundary histograms (stats.LogHist), so they are identical at
+// every PushThreads setting.
+type LatencySummary struct {
+	// Count is the number of accesses observed; SumNs their total
+	// modeled latency.
+	Count int64   `json:",omitempty"`
+	SumNs float64 `json:",omitempty"`
+	// P50Ns..P999Ns are nearest-rank percentiles quantized up to the
+	// holding bucket's upper bound (a conservative tail estimate).
+	P50Ns  float64 `json:",omitempty"`
+	P95Ns  float64 `json:",omitempty"`
+	P99Ns  float64 `json:",omitempty"`
+	P999Ns float64 `json:",omitempty"`
+	// Buckets is the sparse histogram: non-empty buckets in ascending
+	// index order; bucket B counts accesses with latency in
+	// [2^(B−1), 2^B) ns.
+	Buckets []HistBucket `json:",omitempty"`
+}
+
+// HistBucket is one non-empty bucket of a sparse log₂ histogram.
+type HistBucket struct {
+	// B is the bucket index; the bucket's upper latency bound is 2^B ns.
+	B int
+	// N is the bucket's observation count.
+	N int64
 }
 
 // TierFlow is one src→dst cell of a window's migration matrix.

@@ -52,6 +52,14 @@ type Stepper struct {
 	buf          []workload.Access
 	regionFaults map[mem.RegionID]int
 
+	// Per-window observability accumulators (pressure.go): latency
+	// histograms and fault-stall time by serving tier, plus the thrash
+	// detector's per-region direction memory and fixed-point scores.
+	latTier   []stats.LogHist
+	tierStall []float64
+	lastDir   map[mem.RegionID]int8
+	thrash    map[mem.RegionID]int64
+
 	weightedTCO      float64
 	totalAppNs       float64
 	lastProfOverhead float64
@@ -129,6 +137,11 @@ func NewStepper(cfg Config) (*Stepper, error) {
 	s.wl = cfg.Workload
 	s.recd = cfg.Recorder
 	s.regionFaults = make(map[mem.RegionID]int)
+	numTiers := len(cfg.Manager.Tiers())
+	s.latTier = make([]stats.LogHist, numTiers)
+	s.tierStall = make([]float64, numTiers)
+	s.lastDir = make(map[mem.RegionID]int8)
+	s.thrash = make(map[mem.RegionID]int64)
 	s.res = &Result{
 		WorkloadName: cfg.Workload.Name(),
 		ModelName:    "baseline",
@@ -195,6 +208,7 @@ func (s *Stepper) Step() error {
 				return fmt.Errorf("sim: window %d op %d: %w", w, op, err)
 			}
 			opNs += ar.LatencyNs
+			s.observeAccess(ar)
 			if ar.Fault && cfg.PrefetchFaultThreshold > 0 {
 				r := a.Page.Region()
 				s.regionFaults[r]++
@@ -207,6 +221,12 @@ func (s *Stepper) Step() error {
 					}
 					prefetchNs += mr.LatencyNs
 					res.Prefetches++
+					if mr.Moved > 0 {
+						// A bulk prefetch is a promotion: remember the
+						// direction so a prompt demotion registers as
+						// ping-pong.
+						s.lastDir[r] = 1
+					}
 				}
 			}
 		}
@@ -230,6 +250,8 @@ func (s *Stepper) Step() error {
 	}
 	rec := WindowRecord{Window: w + 1}
 	var tr *applyTrace
+	var interferenceNs float64
+	s.decayThrash()
 
 	if cfg.Model != nil {
 		r := cfg.Model.Recommend(m, profile)
@@ -264,6 +286,7 @@ func (s *Stepper) Step() error {
 		}
 		rec.MigrateNs = migNs
 		rec.Migrations = migrationFlows(plan.Moves, applied)
+		s.noteMoves(&rec, plan.Moves, applied)
 		rec.DroppedPressure = plan.DroppedPressure
 		rec.DroppedCapacity = plan.DroppedCapacity
 		rec.DroppedBudget = plan.DroppedBudget
@@ -296,7 +319,8 @@ func (s *Stepper) Step() error {
 		// move, not with how many threads move them, so the charge is
 		// push-thread-invariant (part of the determinism contract).
 		elapsed := r.SolverNs + profDelta + migNs + prefetchNs
-		appNs += elapsed * s.interference
+		interferenceNs = elapsed * s.interference
+		appNs += interferenceNs
 		rec.RecommendedPages = recommendedPages(m, r)
 	} else {
 		// Baseline still pays the (tiny) profiling tax if one imagines
@@ -304,10 +328,12 @@ func (s *Stepper) Step() error {
 		s.lastProfOverhead = s.prof.OverheadNs()
 		rec.PrefetchNs = prefetchNs
 		rec.DaemonNs = prefetchNs
-		appNs += prefetchNs * s.interference
+		interferenceNs = prefetchNs * s.interference
+		appNs += interferenceNs
 	}
 
 	rec.AppNs = appNs
+	s.fillWindowObs(&rec, interferenceNs)
 	rec.TCO = tco.Current(m)
 	tt := m.TierTelemetry()
 	rec.TierPages = tt.Pages
